@@ -1,0 +1,94 @@
+// Command fft2d runs the paper's application kernel study (§7): the
+// parallel 2D-FFT on all three machines, reporting overall MFlop/s,
+// local computation, and transpose communication per problem size —
+// Figures 15, 16, and 17 — plus the Fx compiler's transpose plans.
+//
+//	fft2d                  # the paper's sweep, vendor primitives
+//	fft2d -planner         # with planner-chosen transposes
+//	fft2d -n 256 -verify   # also verify the FFT numerics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/cmplx"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/fft"
+	"repro/internal/fx"
+	"repro/internal/report"
+)
+
+func main() {
+	one := flag.Int("n", 0, "run a single problem size instead of the sweep")
+	planner := flag.Bool("planner", false, "let the Fx planner choose the transpose primitive")
+	verify := flag.Bool("verify", false, "numerically verify the 2D FFT at -n")
+	flag.Parse()
+
+	if *verify {
+		n := *one
+		if n == 0 {
+			n = 256
+		}
+		verifyFFT(n)
+	}
+
+	ms := report.Machines()
+	cs := map[string]*core.Characterization{}
+	for k, m := range ms {
+		fmt.Fprintf(os.Stderr, "characterizing %s...\n", m.Name())
+		cs[k] = core.Measure(m, core.DefaultMeasure())
+	}
+
+	sizes := []int{32, 64, 128, 256, 512, 1024}
+	if *one != 0 {
+		sizes = []int{*one}
+	}
+
+	for _, k := range []string{"t3d", "8400", "t3e"} {
+		m := ms[k]
+		fmt.Printf("== %s ==\n", m.Name())
+		// The compiler's view of the transpose.
+		plan, err := fx.Compile(cs[k], fx.Assign{
+			Dst: fx.Array{Name: "B", N: 256, ElemWords: 2, Dist: fx.BlockCol},
+			Src: fx.Array{Name: "A", N: 256, ElemWords: 2, Dist: fx.BlockRow},
+			P:   m.NumNodes(),
+		})
+		if err == nil {
+			fmt.Print(plan.Report())
+		}
+		for _, n := range sizes {
+			r, err := fft.Run2D(m, n, fft.Options{Char: cs[k], UsePlanner: *planner})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fft2d: %s n=%d: %v\n", k, n, err)
+				continue
+			}
+			fmt.Printf("  %s\n", r)
+		}
+		fmt.Println()
+	}
+}
+
+// verifyFFT checks the numeric kernel: round trip and Parseval.
+func verifyFFT(n int) {
+	m := make([]complex128, n*n)
+	for i := range m {
+		m[i] = complex(math.Sin(float64(i)*0.37), math.Cos(float64(i)*0.11))
+	}
+	orig := append([]complex128(nil), m...)
+	fft.FFT2D(m, n, false)
+	fft.FFT2D(m, n, true)
+	var maxErr float64
+	for i := range m {
+		if d := cmplx.Abs(m[i] - orig[i]); d > maxErr {
+			maxErr = d
+		}
+	}
+	fmt.Printf("2D-FFT %dx%d round-trip max error: %.3g\n", n, n, maxErr)
+	if maxErr > 1e-8 {
+		fmt.Fprintln(os.Stderr, "fft2d: numeric verification FAILED")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,244 @@
+// Command figures regenerates every figure and table of the paper's
+// evaluation from the simulated machines, writing CSV/ASCII artifacts
+// to an output directory and printing the paper-vs-measured
+// comparison tables.
+//
+//	figures                 # headline tables A-C on stdout
+//	figures -all -out out   # figures 1-17 into out/ plus tables
+//	figures -fig 6          # one load surface (ASCII) on stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/report"
+	"repro/internal/surface"
+	"repro/internal/units"
+)
+
+func main() {
+	all := flag.Bool("all", false, "regenerate every figure into -out")
+	fig := flag.Int("fig", 0, "print one figure (1-17) to stdout")
+	out := flag.String("out", "out", "output directory for -all")
+	maxWS := flag.Int64("maxws", int64(8*units.MB), "largest working set for surfaces")
+	flag.Parse()
+
+	ms := report.Machines()
+
+	switch {
+	case *fig != 0:
+		if err := printFigure(ms, *fig, units.Bytes(*maxWS)); err != nil {
+			fatal(err)
+		}
+	case *all:
+		if err := writeAll(ms, *out, units.Bytes(*maxWS)); err != nil {
+			fatal(err)
+		}
+	default:
+		if err := tables(ms); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "figures:", err)
+	os.Exit(1)
+}
+
+func tables(ms map[string]machine.Machine) error {
+	fmt.Println("Table A — local load plateaus (paper §5 vs simulation)")
+	fmt.Println(report.Table(report.HeadlineLocal(ms)))
+	fmt.Println("Table B — copy and remote transfer plateaus (paper §6/§9 vs simulation)")
+	fmt.Println(report.Table(report.HeadlineCopy(ms)))
+
+	cs := characterize(ms)
+	rows, err := report.HeadlineFFT(ms, cs)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Table C — 2D-FFT application kernel (paper §7 vs simulation)")
+	fmt.Println(report.Table(rows))
+
+	txt, err := report.Figures15to17(ms, cs, []int{32, 64, 128, 256, 512, 1024})
+	if err != nil {
+		return err
+	}
+	fmt.Println(txt)
+	return nil
+}
+
+func characterize(ms map[string]machine.Machine) map[string]*core.Characterization {
+	cs := make(map[string]*core.Characterization)
+	for k, m := range ms {
+		fmt.Fprintf(os.Stderr, "characterizing %s...\n", m.Name())
+		cs[k] = core.Measure(m, core.DefaultMeasure())
+	}
+	return cs
+}
+
+// figureSpec describes how to produce each numbered figure.
+func printFigure(ms map[string]machine.Machine, fig int, maxWS units.Bytes) error {
+	emitSurface := func(s *surface.Surface) {
+		fmt.Print(s.ASCII())
+	}
+	emitCurves := func(cs ...*surface.Curve) {
+		for _, c := range cs {
+			fmt.Println(c.Table())
+		}
+	}
+	switch fig {
+	case 1:
+		emitSurface(report.LoadFigure(ms["8400"], maxWS))
+	case 2:
+		s, err := report.TransferFigure(ms["8400"], machine.Fetch, maxWS)
+		if err != nil {
+			return err
+		}
+		emitSurface(s)
+	case 3:
+		emitSurface(report.LoadFigure(ms["t3d"], maxWS))
+	case 4:
+		s, err := report.TransferFigure(ms["t3d"], machine.Fetch, maxWS)
+		if err != nil {
+			return err
+		}
+		emitSurface(s)
+	case 5:
+		s, err := report.TransferFigure(ms["t3d"], machine.Deposit, maxWS)
+		if err != nil {
+			return err
+		}
+		emitSurface(s)
+	case 6:
+		emitSurface(report.LoadFigure(ms["t3e"], maxWS))
+	case 7:
+		s, err := report.TransferFigure(ms["t3e"], machine.Fetch, maxWS)
+		if err != nil {
+			return err
+		}
+		emitSurface(s)
+	case 8:
+		s, err := report.TransferFigure(ms["t3e"], machine.Deposit, maxWS)
+		if err != nil {
+			return err
+		}
+		emitSurface(s)
+	case 9:
+		emitCurves(first2(report.CopyFigure(ms["8400"])))
+	case 10:
+		emitCurves(first2(report.CopyFigure(ms["t3d"])))
+	case 11:
+		emitCurves(first2(report.CopyFigure(ms["t3e"])))
+	case 12:
+		cs, err := report.RemoteCopyFigure(ms["8400"])
+		if err != nil {
+			return err
+		}
+		emitCurves(cs...)
+	case 13:
+		cs, err := report.RemoteCopyFigure(ms["t3d"])
+		if err != nil {
+			return err
+		}
+		emitCurves(cs...)
+	case 14:
+		cs, err := report.RemoteCopyFigure(ms["t3e"])
+		if err != nil {
+			return err
+		}
+		emitCurves(cs...)
+	case 15, 16, 17:
+		cs := characterize(ms)
+		txt, err := report.Figures15to17(ms, cs, []int{32, 64, 128, 256, 512, 1024})
+		if err != nil {
+			return err
+		}
+		fmt.Println(txt)
+	default:
+		return fmt.Errorf("no figure %d (paper has 1-17)", fig)
+	}
+	return nil
+}
+
+func first2(a, b *surface.Curve) (x, y *surface.Curve) { return a, b }
+
+func writeAll(ms map[string]machine.Machine, dir string, maxWS units.Bytes) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name, content string) error {
+		return os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644)
+	}
+	type surfJob struct {
+		name string
+		m    machine.Machine
+		mode machine.Mode
+		load bool
+	}
+	jobs := []surfJob{
+		{"fig01_8400_local_load", ms["8400"], 0, true},
+		{"fig02_8400_remote_pull", ms["8400"], machine.Fetch, false},
+		{"fig03_t3d_local_load", ms["t3d"], 0, true},
+		{"fig04_t3d_fetch", ms["t3d"], machine.Fetch, false},
+		{"fig05_t3d_deposit", ms["t3d"], machine.Deposit, false},
+		{"fig06_t3e_local_load", ms["t3e"], 0, true},
+		{"fig07_t3e_fetch", ms["t3e"], machine.Fetch, false},
+		{"fig08_t3e_deposit", ms["t3e"], machine.Deposit, false},
+	}
+	for _, j := range jobs {
+		fmt.Fprintf(os.Stderr, "sweeping %s...\n", j.name)
+		var s *surface.Surface
+		var err error
+		if j.load {
+			s = report.LoadFigure(j.m, maxWS)
+		} else {
+			s, err = report.TransferFigure(j.m, j.mode, maxWS)
+			if err != nil {
+				return err
+			}
+		}
+		if err := write(j.name+".csv", s.CSV()); err != nil {
+			return err
+		}
+		if err := write(j.name+".txt", s.ASCII()); err != nil {
+			return err
+		}
+	}
+	for k, name := range map[string]string{"8400": "fig09", "t3d": "fig10", "t3e": "fig11"} {
+		fmt.Fprintf(os.Stderr, "sweeping %s local copies...\n", k)
+		a, b := report.CopyFigure(ms[k])
+		if err := write(fmt.Sprintf("%s_%s_local_copy.txt", name, k), a.Table()+"\n"+b.Table()); err != nil {
+			return err
+		}
+	}
+	for k, name := range map[string]string{"8400": "fig12", "t3d": "fig13", "t3e": "fig14"} {
+		fmt.Fprintf(os.Stderr, "sweeping %s remote copies...\n", k)
+		cs, err := report.RemoteCopyFigure(ms[k])
+		if err != nil {
+			return err
+		}
+		var txt string
+		for _, c := range cs {
+			txt += c.Table() + "\n"
+		}
+		if err := write(fmt.Sprintf("%s_%s_remote_copy.txt", name, k), txt); err != nil {
+			return err
+		}
+	}
+	cs := characterize(ms)
+	txt, err := report.Figures15to17(ms, cs, []int{32, 64, 128, 256, 512, 1024})
+	if err != nil {
+		return err
+	}
+	if err := write("fig15-17_fft.txt", txt); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "wrote figures to", dir)
+	return tables(ms)
+}

@@ -1,0 +1,160 @@
+// Command memchar runs the paper's micro-benchmark characterization
+// against the simulated machines and prints headline plateaus,
+// surfaces, or CSV grids.
+//
+// Usage:
+//
+//	memchar -machine t3e -what local     # load surface
+//	memchar -machine 8400 -what remote   # transfer surface (fetch)
+//	memchar -machine t3d -what copy      # local copy curves
+//	memchar -what headline               # headline table, all machines
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/access"
+	"repro/internal/bench"
+	"repro/internal/machine"
+	"repro/internal/surface"
+	"repro/internal/units"
+)
+
+func main() {
+	mach := flag.String("machine", "all", "8400, t3d, t3e, or all")
+	what := flag.String("what", "headline", "local, remote, copy, remotecopy, or headline")
+	mode := flag.String("mode", "fetch", "fetch or deposit (remote sweeps)")
+	csv := flag.Bool("csv", false, "emit CSV instead of ASCII art")
+	maxWS := flag.Int64("maxws", int64(8*units.MB), "largest working set in bytes")
+	flag.Parse()
+
+	for _, m := range pick(*mach) {
+		switch *what {
+		case "local":
+			s := bench.LoadSurface(m, 0, surface.PaperStrides,
+				surface.WorkingSets(units.KB/2, units.Bytes(*maxWS)))
+			emit(s, *csv)
+		case "remote":
+			md := machine.Fetch
+			if *mode == "deposit" {
+				md = machine.Deposit
+			}
+			s, err := bench.TransferSurface(m, 0, machine.PreferredPartner(m), md, surface.PaperStrides,
+				surface.WorkingSets(units.KB/2, units.Bytes(*maxWS)))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", m.Name(), err)
+				continue
+			}
+			emit(s, *csv)
+		case "copy":
+			for _, stridedLoads := range []bool{true, false} {
+				c := bench.CopyCurve(m, 0, 64*units.MB, surface.CopyStrides, stridedLoads)
+				fmt.Println(c.Table())
+			}
+		case "remotecopy":
+			for _, stridedLoads := range []bool{true, false} {
+				md := machine.Deposit
+				if _, ok := m.(*machine.SMP); ok {
+					md = machine.Fetch
+				}
+				c, err := bench.TransferCurve(m, 0, machine.PreferredPartner(m), 64*units.MB,
+					surface.CopyStrides, md, stridedLoads, true)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "%s: %v\n", m.Name(), err)
+					continue
+				}
+				fmt.Println(c.Table())
+			}
+		case "headline":
+			headline(m)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown -what %q\n", *what)
+			os.Exit(2)
+		}
+	}
+}
+
+func pick(name string) []machine.Machine {
+	switch name {
+	case "8400", "dec8400":
+		return []machine.Machine{machine.NewDEC8400(4)}
+	case "t3d":
+		return []machine.Machine{machine.NewT3D(4)}
+	case "t3e":
+		return []machine.Machine{machine.NewT3E(4)}
+	default:
+		return []machine.Machine{machine.NewDEC8400(4), machine.NewT3D(4), machine.NewT3E(4)}
+	}
+}
+
+func emit(s *surface.Surface, csv bool) {
+	if csv {
+		fmt.Print(s.CSV())
+	} else {
+		fmt.Print(s.ASCII())
+	}
+	fmt.Println()
+}
+
+// headline prints the key plateaus the paper quotes in §5, §6, and §9.
+func headline(m machine.Machine) {
+	fmt.Printf("== %s ==\n", m.Name())
+	base := machine.LocalBase(0)
+	point := func(label string, ws units.Bytes, stride int) {
+		m.ColdReset()
+		bw := bench.LoadSum(m, 0, access.Pattern{Base: base, WorkingSet: ws, Stride: stride})
+		fmt.Printf("  load %-28s %8.1f MB/s\n", label, bw.MBps())
+	}
+	point("L1 contiguous (4k,1)", 4*units.KB, 1)
+	point("L2 contiguous (64k,1)", 64*units.KB, 1)
+	point("L2 strided (64k,16)", 64*units.KB, 16)
+	point("L3 contiguous (2M,1)", 2*units.MB, 1)
+	point("L3 strided (2M,16)", 2*units.MB, 16)
+	point("DRAM contiguous (8M,1)", 8*units.MB, 1)
+	point("DRAM strided (8M,16)", 8*units.MB, 16)
+
+	for _, sl := range []bool{true, false} {
+		m.ColdReset()
+		label := "contig loads/strided stores"
+		if sl {
+			label = "strided loads/contig stores"
+		}
+		cp := access.CopyPattern{SrcBase: base, DstBase: base + access.Addr(1<<30) + access.Addr(2*units.MB) + 128,
+			WorkingSet: 16 * units.MB, LoadStride: 1, StoreStride: 1}
+		if sl {
+			cp.LoadStride = 16
+		} else {
+			cp.StoreStride = 16
+		}
+		bw := bench.LocalCopy(m, 0, cp)
+		fmt.Printf("  copy %-28s %8.1f MB/s\n", label+" (16)", bw.MBps())
+	}
+	m.ColdReset()
+	cpc := access.CopyPattern{SrcBase: base, DstBase: base + access.Addr(1<<30) + access.Addr(2*units.MB) + 128,
+		WorkingSet: 16 * units.MB, LoadStride: 1, StoreStride: 1}
+	fmt.Printf("  copy %-28s %8.1f MB/s\n", "contiguous", bench.LocalCopy(m, 0, cpc).MBps())
+
+	partner := machine.PreferredPartner(m)
+	for _, md := range []machine.Mode{machine.Fetch, machine.Deposit} {
+		for _, variant := range []string{"contiguous", "strided"} {
+			m.ColdReset()
+			cp := access.CopyPattern{SrcBase: machine.LocalBase(0), DstBase: machine.LocalBase(partner),
+				WorkingSet: 16 * units.MB, LoadStride: 1, StoreStride: 1}
+			if variant == "strided" {
+				if md == machine.Deposit {
+					cp.StoreStride = 16
+				} else {
+					cp.LoadStride = 16
+				}
+			}
+			bw, err := bench.Transfer(m, 0, partner, cp, machine.Options{Mode: md})
+			if err != nil {
+				continue
+			}
+			fmt.Printf("  remote %-8s %-18s %8.1f MB/s\n", md, variant+" (16)", bw.MBps())
+		}
+	}
+	fmt.Println()
+}

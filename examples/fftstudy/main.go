@@ -1,0 +1,42 @@
+// FFT study: the paper's §7 validation in miniature — run the
+// parallel 2D-FFT kernel at one problem size on all three machines
+// and show how local computation and transpose communication compose
+// into overall application performance.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/fft"
+	"repro/internal/machine"
+)
+
+func main() {
+	const n = 256 // the paper's headline size (133/220/330 MFlop/s)
+
+	for _, m := range []machine.Machine{
+		machine.NewT3D(4),
+		machine.NewDEC8400(4),
+		machine.NewT3E(4),
+	} {
+		fmt.Fprintf(os.Stderr, "characterizing %s...\n", m.Name())
+		char := core.Measure(m, core.DefaultMeasure())
+
+		vendor, err := fft.Run2D(m, n, fft.Options{Char: char})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println(vendor)
+
+		// The planner's transpose (the §7.3 "rewrite" on the T3E).
+		planned, err := fft.Run2D(m, n, fft.Options{Char: char, UsePlanner: true})
+		if err != nil {
+			panic(err)
+		}
+		if planned.MFlops > vendor.MFlops*1.02 {
+			fmt.Printf("  with %s: %.0f MFlop/s\n", planned.Strategy, planned.MFlops)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+// Transpose planning: characterize each machine with the paper's
+// micro-benchmarks, then let the Fx compiler back-end choose how to
+// implement the transpose of a block-distributed 1024x1024 complex
+// matrix — reproducing the paper's per-machine recommendations
+// (deposit on the T3D, fetch on the T3E, blocked pulls on the 8400,
+// and never packing, §9).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/fx"
+	"repro/internal/machine"
+)
+
+func main() {
+	machines := []machine.Machine{
+		machine.NewDEC8400(4),
+		machine.NewT3D(4),
+		machine.NewT3E(4),
+	}
+	assign := fx.Assign{
+		Dst: fx.Array{Name: "B", N: 1024, ElemWords: 2, Dist: fx.BlockCol},
+		Src: fx.Array{Name: "A", N: 1024, ElemWords: 2, Dist: fx.BlockRow},
+		P:   4,
+	}
+
+	for _, m := range machines {
+		fmt.Fprintf(os.Stderr, "characterizing %s...\n", m.Name())
+		char := core.Measure(m, core.DefaultMeasure())
+
+		plan, err := fx.Compile(char, assign)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", m.Name(), err)
+			continue
+		}
+		fmt.Printf("== %s ==\n%s\n", m.Name(), plan.Report())
+	}
+}

@@ -1,0 +1,189 @@
+// Package access generates the address streams of the paper's
+// micro-benchmarks: strided traversals of a working set in which every
+// element is touched exactly once per pass (§4.2), plus the gather and
+// scatter streams of the copy benchmarks (§6) and transpose traffic.
+//
+// The generators are streaming (no materialized traces); working sets
+// of 128 MByte are walked without allocating 16M-entry slices.
+package access
+
+import "repro/internal/units"
+
+// Addr is a byte address in a node's (or the global) address space.
+type Addr int64
+
+// Pattern describes one strided pass over a working set, matching the
+// paper's benchmark loops: an array of WorkingSet bytes is traversed
+// with Stride (in 64-bit words) between consecutive accesses; when the
+// end of the array is passed, the traversal restarts at the next word
+// offset, so that after Stride segments every element was accessed
+// exactly once.
+type Pattern struct {
+	// Base is the byte address of the first array element.
+	Base Addr
+	// WorkingSet is the total amount of data touched, in bytes.
+	// The paper sweeps 0.5 KByte ... 128 MByte.
+	WorkingSet units.Bytes
+	// Stride is the distance between consecutively accessed 64-bit
+	// words, in words. The paper sweeps 1 ... 192.
+	Stride int
+	// NoWrap makes the pattern a true scatter: the i-th access is at
+	// Base + i*Stride words, spanning Stride times the working set,
+	// with no segmented wrap-around. Transpose columns are scatters:
+	// WorkingSet bytes of data spread over a whole tile-row span.
+	NoWrap bool
+}
+
+// Words returns the number of 64-bit words in the working set.
+func (p Pattern) Words() int64 { return p.WorkingSet.Words() }
+
+// Segments returns the number of inner-loop segments of the pass:
+// min(Stride, Words). Each segment restart costs loop overhead in the
+// benchmark harness, which is what makes the measured ridge fall off
+// at strides approaching the working set size (§5.1).
+func (p Pattern) Segments() int64 {
+	s := int64(p.Stride)
+	if w := p.Words(); s > w {
+		return w
+	}
+	return s
+}
+
+// Walk invokes visit for every word address of one pass in traversal
+// order. newSegment is true for the first access of each segment.
+func (p Pattern) Walk(visit func(a Addr, newSegment bool)) {
+	n := p.Words()
+	s := int64(p.Stride)
+	if s < 1 {
+		s = 1
+	}
+	if p.NoWrap {
+		for i := int64(0); i < n; i++ {
+			visit(p.Base+Addr(i*s*int64(units.Word)), i == 0)
+		}
+		return
+	}
+	for off := int64(0); off < s && off < n; off++ {
+		first := true
+		for i := off; i < n; i += s {
+			visit(p.Base+Addr(i*int64(units.Word)), first)
+			first = false
+		}
+	}
+}
+
+// Count returns the number of accesses of one pass (== Words).
+func (p Pattern) Count() int64 { return p.Words() }
+
+// Cursor is a resumable iterator over a Pattern, used when a
+// measurement samples only a bounded number of accesses from a very
+// large pass.
+type Cursor struct {
+	p      Pattern
+	off, i int64
+	n, s   int64
+}
+
+// NewCursor returns a cursor positioned at the first access of p.
+func NewCursor(p Pattern) *Cursor {
+	s := int64(p.Stride)
+	if s < 1 {
+		s = 1
+	}
+	return &Cursor{p: p, n: p.Words(), s: s}
+}
+
+// Next returns the next address of the pass. newSegment is true for
+// the first access of a segment; ok is false when the pass is done.
+func (c *Cursor) Next() (a Addr, newSegment bool, ok bool) {
+	if c.p.NoWrap {
+		if c.i >= c.n {
+			return 0, false, false
+		}
+		a = c.p.Base + Addr(c.i*c.s*int64(units.Word))
+		newSegment = c.i == 0
+		c.i++
+		return a, newSegment, true
+	}
+	if c.off >= c.s || c.off >= c.n {
+		return 0, false, false
+	}
+	newSegment = c.i == c.off
+	a = c.p.Base + Addr(c.i*int64(units.Word))
+	c.i += c.s
+	if c.i >= c.n {
+		c.off++
+		c.i = c.off
+	}
+	return a, newSegment, true
+}
+
+// Reset rewinds the cursor to the start of the pass.
+func (c *Cursor) Reset() { c.off, c.i = 0, 0 }
+
+// CopyPattern describes one pass of the paper's Load/Store copy
+// benchmark: data is copied by "either loading it with a fixed stride
+// and storing it contiguously, or by loading it contiguously and
+// storing it with a fixed stride" (§4.2). Exactly one of LoadStride
+// and StoreStride is typically > 1.
+type CopyPattern struct {
+	SrcBase     Addr
+	DstBase     Addr
+	WorkingSet  units.Bytes // bytes copied per pass
+	LoadStride  int         // words between consecutive loads
+	StoreStride int         // words between consecutive stores
+	// LoadNoWrap / StoreNoWrap make the respective side a true
+	// scatter/gather (see Pattern.NoWrap).
+	LoadNoWrap  bool
+	StoreNoWrap bool
+}
+
+// Words returns the number of words copied in one pass.
+func (cp CopyPattern) Words() int64 { return cp.WorkingSet.Words() }
+
+// Walk invokes visit for every (load, store) address pair of one pass,
+// pairing the i-th element of the strided source traversal with the
+// i-th element of the strided destination traversal.
+func (cp CopyPattern) Walk(visit func(load, store Addr, newSegment bool)) {
+	src := NewCursor(Pattern{Base: cp.SrcBase, WorkingSet: cp.WorkingSet, Stride: cp.LoadStride, NoWrap: cp.LoadNoWrap})
+	dst := NewCursor(Pattern{Base: cp.DstBase, WorkingSet: cp.WorkingSet, Stride: cp.StoreStride, NoWrap: cp.StoreNoWrap})
+	for {
+		la, lseg, lok := src.Next()
+		sa, sseg, sok := dst.Next()
+		if !lok || !sok {
+			return
+		}
+		visit(la, sa, lseg || sseg)
+	}
+}
+
+// TransposeTraffic describes the per-processor memory traffic of one
+// block of a distributed matrix transpose: rows of a tile are read
+// (or written) with a stride equal to the matrix row length, the
+// other side is contiguous. N is the matrix dimension (N x N complex
+// elements of 16 bytes = 2 words each); P is the processor count.
+type TransposeTraffic struct {
+	N, P int
+}
+
+// BytesPerProcessor returns the bytes each processor moves per
+// transpose: its N/P rows of N complex (16-byte) elements, of which
+// the fraction (P-1)/P is remote.
+func (t TransposeTraffic) BytesPerProcessor() units.Bytes {
+	return units.Bytes(t.N / t.P * t.N * 16)
+}
+
+// RemoteBytesPerProcessor returns the portion of BytesPerProcessor
+// destined to other processors.
+func (t TransposeTraffic) RemoteBytesPerProcessor() units.Bytes {
+	return t.BytesPerProcessor() / units.Bytes(t.P) * units.Bytes(t.P-1)
+}
+
+// StrideWords returns the access stride (in 64-bit words) of the
+// strided side of the transpose: one matrix row of complex elements.
+func (t TransposeTraffic) StrideWords() int { return 2 * t.N }
+
+// TileWords returns the number of words in one P-th x P-th tile.
+func (t TransposeTraffic) TileWords() int64 {
+	return int64(t.N/t.P) * int64(t.N/t.P) * 2
+}

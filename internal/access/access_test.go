@@ -1,0 +1,167 @@
+package access
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func TestPatternTouchesEveryWordOnce(t *testing.T) {
+	// The paper: "Our micro-benchmarks access all locations of the
+	// working set exactly once" (§5). Verify for a range of strides,
+	// including strides that do not divide the word count.
+	for _, stride := range []int{1, 2, 3, 4, 5, 7, 8, 12, 31, 63, 64, 127, 192} {
+		p := Pattern{Base: 0, WorkingSet: 4 * units.KB, Stride: stride}
+		seen := make(map[Addr]int)
+		p.Walk(func(a Addr, _ bool) { seen[a]++ })
+		if int64(len(seen)) != p.Words() {
+			t.Fatalf("stride %d: touched %d distinct words, want %d", stride, len(seen), p.Words())
+		}
+		for a, n := range seen {
+			if n != 1 {
+				t.Fatalf("stride %d: address %d touched %d times", stride, a, n)
+			}
+		}
+	}
+}
+
+func TestPatternStrideGeometry(t *testing.T) {
+	p := Pattern{Base: 0, WorkingSet: units.KB, Stride: 4}
+	var addrs []Addr
+	p.Walk(func(a Addr, _ bool) { addrs = append(addrs, a) })
+	// First segment: 0, 32, 64, ... (stride 4 words = 32 bytes).
+	for i := 1; i < 32; i++ {
+		if addrs[i]-addrs[i-1] != 32 {
+			t.Fatalf("in-segment byte distance = %d, want 32", addrs[i]-addrs[i-1])
+		}
+	}
+}
+
+func TestPatternSegments(t *testing.T) {
+	p := Pattern{WorkingSet: units.KB, Stride: 4} // 128 words
+	if got := p.Segments(); got != 4 {
+		t.Errorf("Segments = %d, want 4", got)
+	}
+	// Stride larger than working set: one segment per word.
+	p = Pattern{WorkingSet: 8 * units.Word, Stride: 100}
+	if got := p.Segments(); got != 8 {
+		t.Errorf("Segments (stride>N) = %d, want 8", got)
+	}
+}
+
+func TestPatternSegmentFlags(t *testing.T) {
+	p := Pattern{WorkingSet: units.KB, Stride: 8}
+	var segs int
+	p.Walk(func(_ Addr, newSeg bool) {
+		if newSeg {
+			segs++
+		}
+	})
+	if int64(segs) != p.Segments() {
+		t.Errorf("newSegment flagged %d times, want %d", segs, p.Segments())
+	}
+}
+
+func TestPatternZeroStrideTreatedAsOne(t *testing.T) {
+	p := Pattern{WorkingSet: 64 * units.Word, Stride: 0}
+	var n int64
+	p.Walk(func(_ Addr, _ bool) { n++ })
+	if n != 64 {
+		t.Errorf("stride 0 pass made %d accesses, want 64", n)
+	}
+}
+
+func TestCursorMatchesWalk(t *testing.T) {
+	f := func(wsKB uint8, stride uint8) bool {
+		p := Pattern{
+			WorkingSet: units.Bytes(int(wsKB)%8+1) * units.KB,
+			Stride:     int(stride)%190 + 1,
+		}
+		var walked []Addr
+		p.Walk(func(a Addr, _ bool) { walked = append(walked, a) })
+		c := NewCursor(p)
+		for i := 0; ; i++ {
+			a, _, ok := c.Next()
+			if !ok {
+				return i == len(walked)
+			}
+			if i >= len(walked) || walked[i] != a {
+				return false
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCursorReset(t *testing.T) {
+	p := Pattern{WorkingSet: units.KB, Stride: 3}
+	c := NewCursor(p)
+	a1, _, _ := c.Next()
+	c.Next()
+	c.Reset()
+	a2, _, _ := c.Next()
+	if a1 != a2 {
+		t.Errorf("after Reset first address = %d, want %d", a2, a1)
+	}
+}
+
+func TestCopyPatternPairsAllWords(t *testing.T) {
+	cp := CopyPattern{
+		SrcBase: 0, DstBase: 1 << 20,
+		WorkingSet:  2 * units.KB,
+		LoadStride:  4,
+		StoreStride: 1,
+	}
+	loads := make(map[Addr]bool)
+	stores := make(map[Addr]bool)
+	var n int64
+	cp.Walk(func(l, s Addr, _ bool) {
+		loads[l] = true
+		stores[s] = true
+		n++
+	})
+	if n != cp.Words() {
+		t.Fatalf("copied %d words, want %d", n, cp.Words())
+	}
+	if int64(len(loads)) != cp.Words() || int64(len(stores)) != cp.Words() {
+		t.Fatalf("distinct loads=%d stores=%d, want %d", len(loads), len(stores), cp.Words())
+	}
+	for s := range stores {
+		if s < 1<<20 {
+			t.Fatalf("store address %d below DstBase", s)
+		}
+	}
+}
+
+func TestCopyPatternContiguousStores(t *testing.T) {
+	cp := CopyPattern{WorkingSet: units.KB, LoadStride: 8, StoreStride: 1}
+	var prev Addr = -8
+	i := 0
+	cp.Walk(func(_, s Addr, _ bool) {
+		if s != prev+8 {
+			t.Fatalf("store %d at %d, want contiguous after %d", i, s, prev)
+		}
+		prev = s
+		i++
+	})
+}
+
+func TestTransposeTraffic(t *testing.T) {
+	tr := TransposeTraffic{N: 256, P: 4}
+	// 64 rows x 256 complex x 16 bytes = 256 KB per processor.
+	if got := tr.BytesPerProcessor(); got != 256*units.KB {
+		t.Errorf("BytesPerProcessor = %v, want 256k", got)
+	}
+	if got := tr.RemoteBytesPerProcessor(); got != 192*units.KB {
+		t.Errorf("RemoteBytesPerProcessor = %v, want 192k", got)
+	}
+	if got := tr.StrideWords(); got != 512 {
+		t.Errorf("StrideWords = %d, want 512", got)
+	}
+	if got := tr.TileWords(); got != 64*64*2 {
+		t.Errorf("TileWords = %d, want 8192", got)
+	}
+}

@@ -1,0 +1,262 @@
+// Package bench implements the paper's micro-benchmarks (§4.2): the
+// Load Sum and Store Constant loops and the Load/Store copy loops,
+// run over stride x working-set sweeps against the simulated
+// machines, exactly as the originals ran against the hardware —
+// primed caches, all elements touched once per pass, loop overhead at
+// segment restarts.
+//
+// Very large passes are sampled: after a bounded priming pass the
+// measured pass simulates a bounded number of accesses and reports
+// steady-state bandwidth. The caps comfortably exceed every cache in
+// the modelled machines, so the cache state a full pass would reach
+// is preserved.
+package bench
+
+import (
+	"repro/internal/access"
+	"repro/internal/machine"
+	"repro/internal/node"
+	"repro/internal/surface"
+	"repro/internal/units"
+)
+
+const (
+	// primeWords bounds the priming pass (8 MB of touched data —
+	// twice the largest cache, the 8400's 4 MB L3).
+	primeWords = 1 << 20
+	// measureWords bounds the measured pass.
+	measureWords = 128 << 10
+	// transferCap bounds the simulated portion of very large remote
+	// transfers (16 MB; every machine's caches are far smaller, so
+	// the remainder is steady state).
+	transferCap = 16 * units.MB
+)
+
+// LoadSum runs the Load Sum benchmark on node idx of m: every element
+// of the working set is loaded and accumulated (§4.2). Returns the
+// steady-state load bandwidth.
+func LoadSum(m machine.Machine, idx int, p access.Pattern) units.BytesPerSec {
+	n := m.Node(idx)
+	prime(n, p)
+	m.ResetTiming()
+	words := measure(n, p)
+	return units.BW(units.Bytes(words)*units.Word, n.Now())
+}
+
+// StoreConst runs the Store Constant benchmark: every element of the
+// working set is overwritten with a constant (§4.2).
+func StoreConst(m machine.Machine, idx int, p access.Pattern) units.BytesPerSec {
+	n := m.Node(idx)
+	prime(n, p)
+	m.ResetTiming()
+	var words int64
+	c := access.NewCursor(p)
+	for {
+		a, seg, ok := c.Next()
+		if !ok || words >= measureWords {
+			break
+		}
+		if seg {
+			n.SegmentStart()
+		}
+		n.StoreWord(a)
+		words++
+	}
+	n.FlushWrites()
+	return units.BW(units.Bytes(words)*units.Word, n.Now())
+}
+
+// LocalCopy runs the Load/Store copy benchmark on node idx: data is
+// copied with one side strided, the other contiguous (§4.2, §6.1).
+// The reported figure is memory copy bandwidth: bytes copied per
+// second.
+func LocalCopy(m machine.Machine, idx int, cp access.CopyPattern) units.BytesPerSec {
+	n := m.Node(idx)
+	// Prime both arrays (the benchmark reuses its buffers).
+	prime(n, access.Pattern{Base: cp.SrcBase, WorkingSet: cp.WorkingSet, Stride: cp.LoadStride})
+	primeStore(n, access.Pattern{Base: cp.DstBase, WorkingSet: cp.WorkingSet, Stride: cp.StoreStride})
+	m.ResetTiming()
+
+	src := access.NewCursor(access.Pattern{Base: cp.SrcBase, WorkingSet: cp.WorkingSet, Stride: cp.LoadStride})
+	dst := access.NewCursor(access.Pattern{Base: cp.DstBase, WorkingSet: cp.WorkingSet, Stride: cp.StoreStride})
+	var words int64
+	for words < measureWords {
+		la, lseg, lok := src.Next()
+		sa, sseg, sok := dst.Next()
+		if !lok || !sok {
+			break
+		}
+		if lseg || sseg {
+			n.SegmentStart()
+		}
+		n.CopyWord(la, sa)
+		words++
+	}
+	n.FlushWrites()
+	return units.BW(units.Bytes(words)*units.Word, n.Now())
+}
+
+// Transfer runs a remote transfer and reports its throughput. Very
+// large working sets are truncated to a steady-state sample.
+func Transfer(m machine.Machine, src, dst int, cp access.CopyPattern, opt machine.Options) (units.BytesPerSec, error) {
+	if cp.WorkingSet > transferCap {
+		cp.WorkingSet = transferCap
+	}
+	m.ResetTiming()
+	elapsed, err := m.Transfer(src, dst, cp, opt)
+	if err != nil {
+		return 0, err
+	}
+	return units.BW(cp.WorkingSet, elapsed), nil
+}
+
+// LoadSurface sweeps LoadSum over the grid — Figures 1, 3, and 6.
+func LoadSurface(m machine.Machine, idx int, strides []int, wss []units.Bytes) *surface.Surface {
+	s := surface.New(m.Name(), "local load bandwidth", strides, wss)
+	base := machine.LocalBase(idx)
+	for wi, ws := range wss {
+		for si, st := range strides {
+			m.ColdReset()
+			bw := LoadSum(m, idx, access.Pattern{Base: base, WorkingSet: ws, Stride: st})
+			s.Set(wi, si, bw)
+		}
+	}
+	return s
+}
+
+// TransferSurface sweeps remote transfers over the grid — Figures 2,
+// 4, 5, 7, and 8. The stride applies to the remote side: the loads
+// for Fetch, the stores for Deposit; the local side is contiguous.
+func TransferSurface(m machine.Machine, src, dst int, mode machine.Mode, strides []int, wss []units.Bytes) (*surface.Surface, error) {
+	title := "remote transfer bandwidth, " + mode.String()
+	s := surface.New(m.Name(), title, strides, wss)
+	for wi, ws := range wss {
+		for si, st := range strides {
+			m.ColdReset()
+			cp := access.CopyPattern{
+				SrcBase: machine.LocalBase(src), DstBase: machine.LocalBase(dst),
+				WorkingSet: ws, LoadStride: 1, StoreStride: 1,
+			}
+			if mode == machine.Deposit {
+				cp.StoreStride = st
+			} else {
+				cp.LoadStride = st
+			}
+			bw, err := Transfer(m, src, dst, cp, machine.Options{Mode: mode})
+			if err != nil {
+				return nil, err
+			}
+			s.Set(wi, si, bw)
+		}
+	}
+	return s, nil
+}
+
+// CopyCurve sweeps LocalCopy over strides at a fixed large working
+// set — Figures 9-11. stridedLoads selects which side is strided.
+func CopyCurve(m machine.Machine, idx int, ws units.Bytes, strides []int, stridedLoads bool) *surface.Curve {
+	title := "local copy, contiguous loads/strided stores"
+	if stridedLoads {
+		title = "local copy, strided loads/contiguous stores"
+	}
+	c := &surface.Curve{Machine: m.Name(), Title: title,
+		Strides: append([]int(nil), strides...),
+		BW:      make([]units.BytesPerSec, len(strides))}
+	base := machine.LocalBase(idx)
+	if ws > transferCap {
+		ws = transferCap
+	}
+	for i, st := range strides {
+		m.ColdReset()
+		cp := access.CopyPattern{
+			SrcBase: base, DstBase: base + 1<<30,
+			WorkingSet: ws, LoadStride: 1, StoreStride: 1,
+		}
+		if stridedLoads {
+			cp.LoadStride = st
+		} else {
+			cp.StoreStride = st
+		}
+		c.BW[i] = LocalCopy(m, idx, cp)
+	}
+	return c
+}
+
+// TransferCurve sweeps remote transfers over strides at a fixed large
+// working set — Figures 12-14. stridedLoads selects whether the
+// source reads or the destination writes are strided.
+func TransferCurve(m machine.Machine, src, dst int, ws units.Bytes, strides []int, mode machine.Mode, stridedLoads bool, pipelined bool) (*surface.Curve, error) {
+	title := "remote copy, " + mode.String()
+	if stridedLoads {
+		title += ", strided loads/contiguous stores"
+	} else {
+		title += ", contiguous loads/strided stores"
+	}
+	c := &surface.Curve{Machine: m.Name(), Title: title,
+		Strides: append([]int(nil), strides...),
+		BW:      make([]units.BytesPerSec, len(strides))}
+	for i, st := range strides {
+		m.ColdReset()
+		cp := access.CopyPattern{
+			SrcBase: machine.LocalBase(src), DstBase: machine.LocalBase(dst),
+			WorkingSet: ws, LoadStride: 1, StoreStride: 1,
+		}
+		if stridedLoads {
+			cp.LoadStride = st
+		} else {
+			cp.StoreStride = st
+		}
+		bw, err := Transfer(m, src, dst, cp, machine.Options{Mode: mode, Pipelined: pipelined})
+		if err != nil {
+			return nil, err
+		}
+		c.BW[i] = bw
+	}
+	return c, nil
+}
+
+// prime walks up to primeWords of p with loads (primed-cache
+// semantics, §5).
+func prime(n *node.Node, p access.Pattern) {
+	c := access.NewCursor(p)
+	for i := int64(0); i < primeWords; i++ {
+		a, _, ok := c.Next()
+		if !ok {
+			return
+		}
+		n.LoadWord(a)
+	}
+}
+
+// primeStore walks up to primeWords of p with stores.
+func primeStore(n *node.Node, p access.Pattern) {
+	c := access.NewCursor(p)
+	for i := int64(0); i < primeWords; i++ {
+		a, _, ok := c.Next()
+		if !ok {
+			n.FlushWrites()
+			return
+		}
+		n.StoreWord(a)
+	}
+	n.FlushWrites()
+}
+
+// measure walks up to measureWords of p with loads, charging segment
+// overhead, and returns the number of accesses made.
+func measure(n *node.Node, p access.Pattern) int64 {
+	c := access.NewCursor(p)
+	var words int64
+	for words < measureWords {
+		a, seg, ok := c.Next()
+		if !ok {
+			break
+		}
+		if seg {
+			n.SegmentStart()
+		}
+		n.LoadWord(a)
+		words++
+	}
+	return words
+}

@@ -1,0 +1,101 @@
+// Package bus models the DEC 8400's high-speed snooping system bus:
+// "a 40-bit address and 256-bit data path ... clocked at 75 MHz, a
+// quarter of the clock frequency of the microprocessor, yielding a
+// peak transfer-rate of 2.4 GByte/s ... reduced to a peak of 1.6
+// GByte/s under the best burst transfer protocol" (§3.1). The bus
+// provides free broadcast, which is what makes global snooping
+// coherence cheap on this machine.
+package bus
+
+import (
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Config describes the bus timing.
+type Config struct {
+	Name string
+	// Arb is the arbitration occupancy of every transaction.
+	Arb units.Time
+	// Snoop is the snoop-resolution time added to coherent
+	// transactions (all caches must answer).
+	Snoop units.Time
+	// LineOcc is the data-phase occupancy of a full cache-line burst
+	// (64 bytes at the 1.6 GB/s burst rate is 40 ns).
+	LineOcc units.Time
+	// WordOcc is the data-phase occupancy of a partial (single-word)
+	// transfer.
+	WordOcc units.Time
+	// C2COcc is the data-phase occupancy of a cache-to-cache line
+	// transfer (the supplier intervenes; slower than a memory
+	// burst).
+	C2COcc units.Time
+}
+
+// Stats counts bus traffic.
+type Stats struct {
+	Transactions int64
+	C2CTransfers int64
+	// Wait is the total arbitration wait (contention).
+	Wait units.Time
+}
+
+// Bus is the shared snooping bus.
+type Bus struct {
+	cfg   Config
+	res   sim.Resource
+	stats Stats
+}
+
+// New builds a bus.
+func New(cfg Config) *Bus { return &Bus{cfg: cfg} }
+
+// Config returns the bus configuration.
+func (b *Bus) Config() Config { return b.cfg }
+
+// Stats returns a snapshot of the counters.
+func (b *Bus) Stats() Stats { return b.stats }
+
+// Phase identifies the data phase of a transaction.
+type Phase int
+
+const (
+	// LineBurst is a full-line memory burst.
+	LineBurst Phase = iota
+	// WordTransfer is a partial transfer.
+	WordTransfer
+	// CacheToCache is a dirty-line intervention from another
+	// processor's cache.
+	CacheToCache
+	// AddressOnly is an invalidate or other dataless transaction.
+	AddressOnly
+)
+
+// Transaction occupies the bus for one coherent transaction at time
+// now and returns (start, done): when the transaction won arbitration
+// and when its data phase completed.
+func (b *Bus) Transaction(p Phase, now units.Time) (start, done units.Time) {
+	occ := b.cfg.Arb + b.cfg.Snoop
+	switch p {
+	case LineBurst:
+		occ += b.cfg.LineOcc
+	case WordTransfer:
+		occ += b.cfg.WordOcc
+	case CacheToCache:
+		occ += b.cfg.C2COcc
+		b.stats.C2CTransfers++
+	case AddressOnly:
+	}
+	start = b.res.Acquire(now, occ)
+	if start > now {
+		b.stats.Wait += start - now
+	}
+	b.stats.Transactions++
+	return start, start + occ
+}
+
+// Reset clears occupancy and counters.
+func (b *Bus) Reset() {
+	b.res.Reset()
+	b.stats = Stats{}
+}

@@ -1,0 +1,328 @@
+// Package cache implements the cache models of the three machines'
+// memory hierarchies: direct-mapped and set-associative caches with
+// write-through or write-back policies and configurable allocation,
+// plus the Cray T3D's coalescing write-back queue (§3.2).
+//
+// Caches here are *functional* tag/state arrays: they answer hit/miss
+// and report victim write-backs. Timing (fill occupancy, drain rates)
+// is charged by the node model in internal/node, which owns the
+// sim.Resource pipelines.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/access"
+	"repro/internal/units"
+)
+
+// WritePolicy selects how stores interact with a cache level.
+type WritePolicy int
+
+const (
+	// WriteThrough propagates every store to the next level
+	// immediately (DEC Alpha 21064/21164 L1 D-caches).
+	WriteThrough WritePolicy = iota
+	// WriteBack keeps dirty lines and writes them back on eviction
+	// (21164 L2, DEC 8400 L3).
+	WriteBack
+)
+
+func (w WritePolicy) String() string {
+	if w == WriteThrough {
+		return "write-through"
+	}
+	return "write-back"
+}
+
+// AllocPolicy selects whether stores allocate lines on miss.
+type AllocPolicy int
+
+const (
+	// ReadAllocate allocates only on load misses; store misses
+	// bypass the cache (the 21064 L1 is read-allocate, §3.2).
+	ReadAllocate AllocPolicy = iota
+	// ReadWriteAllocate allocates on both load and store misses.
+	ReadWriteAllocate
+)
+
+func (a AllocPolicy) String() string {
+	if a == ReadAllocate {
+		return "read-allocate"
+	}
+	return "read-write-allocate"
+}
+
+// Config describes a cache level's geometry and policies.
+type Config struct {
+	Name     string
+	Size     units.Bytes
+	LineSize units.Bytes
+	// Assoc is the set associativity; 1 (or 0) is direct mapped.
+	Assoc  int
+	Write  WritePolicy
+	Alloc  AllocPolicy
+	Shared bool // unified I/D (21164 L2); informational only
+}
+
+func (c Config) String() string {
+	return fmt.Sprintf("%s %v %d-way %vB lines %v %v",
+		c.Name, c.Size, c.assoc(), int64(c.LineSize), c.Write, c.Alloc)
+}
+
+func (c Config) assoc() int {
+	if c.Assoc < 1 {
+		return 1
+	}
+	return c.Assoc
+}
+
+// Stats counts the traffic a cache level has seen.
+type Stats struct {
+	ReadHits, ReadMisses   int64
+	WriteHits, WriteMisses int64
+	WriteBacks             int64
+	Invalidations          int64
+}
+
+// Accesses returns the total number of accesses counted.
+func (s Stats) Accesses() int64 {
+	return s.ReadHits + s.ReadMisses + s.WriteHits + s.WriteMisses
+}
+
+// HitRate returns the fraction of accesses that hit, or 0 if none.
+func (s Stats) HitRate() float64 {
+	a := s.Accesses()
+	if a == 0 {
+		return 0
+	}
+	return float64(s.ReadHits+s.WriteHits) / float64(a)
+}
+
+type line struct {
+	tag   int64
+	valid bool
+	dirty bool
+	// lastUse orders lines within a set for LRU replacement.
+	lastUse int64
+}
+
+// Cache is one level of a memory hierarchy.
+type Cache struct {
+	cfg      Config
+	sets     [][]line
+	numSets  int64
+	lineMask int64
+	tick     int64
+	stats    Stats
+}
+
+// New builds a cache from its configuration. It panics on geometries
+// that are not a power-of-two number of sets, which none of the
+// modelled machines use.
+func New(cfg Config) *Cache {
+	assoc := cfg.assoc()
+	lines := int64(cfg.Size / cfg.LineSize)
+	numSets := lines / int64(assoc)
+	if numSets == 0 {
+		numSets = 1
+	}
+	if cfg.LineSize&(cfg.LineSize-1) != 0 {
+		panic(fmt.Sprintf("cache %s: line size %d not a power of two", cfg.Name, cfg.LineSize))
+	}
+	c := &Cache{
+		cfg:      cfg,
+		numSets:  numSets,
+		lineMask: int64(cfg.LineSize) - 1,
+		sets:     make([][]line, numSets),
+	}
+	backing := make([]line, numSets*int64(assoc))
+	for i := range c.sets {
+		c.sets[i], backing = backing[:assoc:assoc], backing[assoc:]
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a snapshot of the access counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// LineAddr returns the address of the line containing a.
+func (c *Cache) LineAddr(a access.Addr) access.Addr {
+	return a &^ access.Addr(c.lineMask)
+}
+
+func (c *Cache) setIndex(lineA access.Addr) int64 {
+	idx := int64(lineA) / int64(c.cfg.LineSize)
+	// numSets may not be a power of two (e.g. 96 KB 3-way L2 of the
+	// 21164 has 1024 sets, which is); use modulo to stay general.
+	return idx % c.numSets
+}
+
+// Result reports the outcome of an Access.
+type Result struct {
+	Hit bool
+	// Filled is true when the access allocated a line (a fill from
+	// the next level happened).
+	Filled bool
+	// WriteBack is the line address of a dirty victim that must be
+	// written to the next level, valid when HasWriteBack.
+	WriteBack    access.Addr
+	HasWriteBack bool
+	// WriteThrough is true when a store must also be sent to the
+	// next level (write-through policy or non-allocating miss).
+	WriteThrough bool
+}
+
+// Access performs a load (isWrite=false) or store (isWrite=true) at
+// byte address a, updating tags and returning what the next level
+// must do.
+func (c *Cache) Access(a access.Addr, isWrite bool) Result {
+	c.tick++
+	lineA := c.LineAddr(a)
+	set := c.sets[c.setIndex(lineA)]
+	tag := int64(lineA)
+
+	// Probe.
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lastUse = c.tick
+			if isWrite {
+				c.stats.WriteHits++
+				if c.cfg.Write == WriteBack {
+					set[i].dirty = true
+					return Result{Hit: true}
+				}
+				return Result{Hit: true, WriteThrough: true}
+			}
+			c.stats.ReadHits++
+			return Result{Hit: true}
+		}
+	}
+
+	// Miss.
+	if isWrite {
+		c.stats.WriteMisses++
+		if c.cfg.Alloc == ReadAllocate {
+			// Non-allocating store miss goes straight through.
+			return Result{WriteThrough: true}
+		}
+	} else {
+		c.stats.ReadMisses++
+	}
+
+	// Allocate: choose invalid or LRU victim.
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lastUse < set[victim].lastUse {
+			victim = i
+		}
+	}
+	res := Result{Filled: true}
+	if set[victim].valid && set[victim].dirty {
+		res.WriteBack = access.Addr(set[victim].tag)
+		res.HasWriteBack = true
+		c.stats.WriteBacks++
+	}
+	set[victim] = line{tag: tag, valid: true, lastUse: c.tick}
+	if isWrite {
+		if c.cfg.Write == WriteBack {
+			set[victim].dirty = true
+		} else {
+			res.WriteThrough = true
+		}
+	}
+	return res
+}
+
+// Contains reports whether the line holding a is present (no state
+// update; used by coherence probes).
+func (c *Cache) Contains(a access.Addr) bool {
+	lineA := c.LineAddr(a)
+	set := c.sets[c.setIndex(lineA)]
+	for i := range set {
+		if set[i].valid && set[i].tag == int64(lineA) {
+			return true
+		}
+	}
+	return false
+}
+
+// Dirty reports whether the line holding a is present and dirty.
+func (c *Cache) Dirty(a access.Addr) bool {
+	lineA := c.LineAddr(a)
+	set := c.sets[c.setIndex(lineA)]
+	for i := range set {
+		if set[i].valid && set[i].tag == int64(lineA) {
+			return set[i].dirty
+		}
+	}
+	return false
+}
+
+// Invalidate drops the line containing a, returning whether it was
+// present and dirty (the caller then owes a write-back). The T3D
+// invalidates its L1 "line by line as data is stored into local
+// memory" by the remote-deposit circuitry (§3.2); the 8400's snooping
+// protocol invalidates on remote writes.
+func (c *Cache) Invalidate(a access.Addr) (present, dirty bool) {
+	lineA := c.LineAddr(a)
+	set := c.sets[c.setIndex(lineA)]
+	for i := range set {
+		if set[i].valid && set[i].tag == int64(lineA) {
+			dirty = set[i].dirty
+			set[i] = line{}
+			c.stats.Invalidations++
+			return true, dirty
+		}
+	}
+	return false, false
+}
+
+// InvalidateAll flushes every line ("invalidated entirely when the
+// program reaches a synchronization point", §3.2). Dirty lines are
+// discarded; the modelled T3D L1 is write-through so no data is lost.
+func (c *Cache) InvalidateAll() {
+	for s := range c.sets {
+		for i := range c.sets[s] {
+			if c.sets[s][i].valid {
+				c.stats.Invalidations++
+			}
+			c.sets[s][i] = line{}
+		}
+	}
+}
+
+// SetDirty marks the line containing a dirty if present, reporting
+// whether it was found (a victim from the level above landed in this
+// level and must eventually be written back further down).
+func (c *Cache) SetDirty(a access.Addr) bool {
+	lineA := c.LineAddr(a)
+	set := c.sets[c.setIndex(lineA)]
+	for i := range set {
+		if set[i].valid && set[i].tag == int64(lineA) {
+			set[i].dirty = true
+			return true
+		}
+	}
+	return false
+}
+
+// Clean marks the line containing a clean if present (after a
+// coherence write-back supplied the data to another processor).
+func (c *Cache) Clean(a access.Addr) {
+	lineA := c.LineAddr(a)
+	set := c.sets[c.setIndex(lineA)]
+	for i := range set {
+		if set[i].valid && set[i].tag == int64(lineA) {
+			set[i].dirty = false
+			return
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/units"
+)
+
+// Characterizations are expensive; measure each machine once.
+var (
+	once  sync.Once
+	chars map[string]*Characterization
+	machs map[string]machine.Machine
+)
+
+func characterize(t *testing.T) (map[string]machine.Machine, map[string]*Characterization) {
+	t.Helper()
+	once.Do(func() {
+		machs = map[string]machine.Machine{
+			"8400": machine.NewDEC8400(4),
+			"t3d":  machine.NewT3D(4),
+			"t3e":  machine.NewT3E(4),
+		}
+		chars = make(map[string]*Characterization)
+		for k, m := range machs {
+			chars[k] = Measure(m, DefaultMeasure())
+		}
+	})
+	return machs, chars
+}
+
+func TestMeasurePopulatesModel(t *testing.T) {
+	_, cs := characterize(t)
+	for k, c := range cs {
+		if c.LocalLoad == nil || c.LocalCopyStridedLoads == nil || c.LocalCopyStridedStores == nil {
+			t.Fatalf("%s: incomplete local characterization", k)
+		}
+		if c.RemoteFetch == nil {
+			t.Fatalf("%s: missing fetch curve", k)
+		}
+	}
+	if cs["8400"].RemoteDeposit != nil {
+		t.Errorf("8400 must have no deposit curve (§5.2)")
+	}
+	if cs["t3d"].RemoteDeposit == nil || cs["t3e"].RemoteDeposit == nil {
+		t.Errorf("Cray machines must have deposit curves")
+	}
+}
+
+func TestBandwidthLookupMatchesSurfaces(t *testing.T) {
+	_, cs := characterize(t)
+	c := cs["t3e"]
+	bw, err := c.Bandwidth(Spec{Locality: Remote, Mode: machine.Fetch, LoadStride: 16, StoreStride: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bw.MBps() < 100 || bw.MBps() > 180 {
+		t.Errorf("T3E strided fetch estimate = %.0f, want ~140", bw.MBps())
+	}
+	if _, err := c.Bandwidth(Spec{Locality: Remote, Mode: machine.Mode(42)}); err == nil {
+		t.Errorf("unknown mode should error")
+	}
+}
+
+func TestDepositEstimateUnavailableOn8400(t *testing.T) {
+	_, cs := characterize(t)
+	_, err := cs["8400"].Bandwidth(Spec{Locality: Remote, Mode: machine.Deposit, StoreStride: 8})
+	if err == nil {
+		t.Fatalf("deposit estimate must fail on the 8400")
+	}
+}
+
+func TestPlannerPrefersDepositOnT3D(t *testing.T) {
+	// §9: "On the T3D, pulling data (fetch model) proves to be
+	// consistently inferior than pushing data (deposit model)."
+	_, cs := characterize(t)
+	best, err := cs["t3d"].Best(Redistribution{Bytes: units.MB, RemoteStride: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Name != "strided deposit" {
+		t.Errorf("T3D planner chose %q, want strided deposit", best.Name)
+	}
+}
+
+func TestPlannerPrefersFetchOnT3EEvenStrides(t *testing.T) {
+	// §5.6: "fetches are more advantageous for even strides than
+	// deposits. Therefore the back-end of the Fx compiler should
+	// generate fetch code for the T3E while sticking with deposit
+	// code for the T3D."
+	_, cs := characterize(t)
+	best, err := cs["t3e"].Best(Redistribution{Bytes: units.MB, RemoteStride: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Name != "strided fetch" && best.Name != "blocked fetch" {
+		t.Errorf("T3E planner chose %q, want a fetch strategy", best.Name)
+	}
+}
+
+func TestPlannerNeverPacks(t *testing.T) {
+	// §9: "using local memory copies to rearrange access patterns,
+	// or pack communication buffers or blocks, never pays off."
+	_, cs := characterize(t)
+	for k, c := range cs {
+		for _, stride := range []int{64, 512, 2048} {
+			plans := c.Plan(Redistribution{Bytes: units.MB, RemoteStride: stride})
+			if len(plans) == 0 {
+				t.Fatalf("%s: no plans", k)
+			}
+			best := plans[0]
+			if best.Name == "pack + contiguous deposit" || best.Name == "contiguous fetch + unpack" {
+				t.Errorf("%s stride %d: packing strategy %q won — contradicts §9", k, stride, best.Name)
+			}
+		}
+	}
+}
+
+func TestPlannerBlocked8400BeatsCold(t *testing.T) {
+	// §6.2: "strided remote transfers can be done faster from L3
+	// cache if a global communication operation can be blocked. The
+	// characterization quantifies the advantage for this interesting
+	// compiler optimization." Blocked chunks stay hot in the
+	// producer's cache and the consumer re-reads lines across stride
+	// segments before they are evicted.
+	_, cs := characterize(t)
+	plans := cs["8400"].Plan(Redistribution{Bytes: units.MB, RemoteStride: 16})
+	var blocked, plain units.Time
+	for _, p := range plans {
+		switch p.Name {
+		case "blocked fetch":
+			blocked = p.Time
+		case "strided fetch":
+			plain = p.Time
+		}
+	}
+	if blocked == 0 || plain == 0 {
+		t.Fatalf("missing strategies: %+v", plans)
+	}
+	if blocked >= plain/2 {
+		t.Errorf("blocked strided fetch (%v) should far outrun plain strided fetch (%v) on the 8400", blocked, plain)
+	}
+}
+
+func TestTimeScalesWithBytes(t *testing.T) {
+	_, cs := characterize(t)
+	c := cs["t3d"]
+	s := Spec{Locality: Remote, Mode: machine.Deposit, LoadStride: 1, StoreStride: 16}
+	t1, err := c.Time(s, units.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := c.Time(s, 2*units.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t2 < t1*19/10 || t2 > t1*21/10 {
+		t.Errorf("time should scale linearly: %v then %v", t1, t2)
+	}
+}
+
+func TestValidateEstimateAgainstSimulation(t *testing.T) {
+	// The model must predict the simulated transfer within 30% for
+	// the strides the planner cares about (the grids interpolate).
+	ms, cs := characterize(t)
+	for _, k := range []string{"t3d", "t3e"} {
+		est, sim, err := Validate(ms[k], cs[k], Redistribution{Bytes: 2 * units.MB, RemoteStride: 32})
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		ratio := float64(est) / float64(sim)
+		if ratio < 0.7 || ratio > 1.43 {
+			t.Errorf("%s: estimate %v vs simulated %v (ratio %.2f)", k, est, sim, ratio)
+		}
+	}
+}
+
+func TestSpecString(t *testing.T) {
+	s := Spec{Locality: Remote, Mode: machine.Fetch, LoadStride: 8, StoreStride: 1,
+		WorkingSet: units.MB, Blocked: true}
+	if s.String() == "" || Locality(0).String() != "local" || Remote.String() != "remote" {
+		t.Errorf("string forms broken")
+	}
+}

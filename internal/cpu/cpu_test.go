@@ -1,0 +1,40 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEV4Rates(t *testing.T) {
+	c := EV4()
+	// 2.0 cycles at 150 MHz = 13.33 ns per element: 600 MB/s L1.
+	if math.Abs(float64(c.LoadSlot())-13.333) > 0.01 {
+		t.Errorf("EV4 load slot = %v, want 13.33ns", c.LoadSlot())
+	}
+	if c.Clock.MHz != 150 {
+		t.Errorf("EV4 clock = %v", c.Clock.MHz)
+	}
+}
+
+func TestEV5Rates(t *testing.T) {
+	c := EV5()
+	// 2.2 cycles at 300 MHz = 7.33 ns per element: ~1091 MB/s L1,
+	// the paper's "about half of the peak bandwidth" (§4.2).
+	if math.Abs(float64(c.LoadSlot())-7.333) > 0.01 {
+		t.Errorf("EV5 load slot = %v, want 7.33ns", c.LoadSlot())
+	}
+	if got := 8.0 / c.LoadSlot().Seconds() / 1e6; math.Abs(got-1091) > 2 {
+		t.Errorf("EV5 L1 rate = %.0f MB/s, want ~1091", got)
+	}
+}
+
+func TestSlotOrdering(t *testing.T) {
+	for _, c := range []Config{EV4(), EV5()} {
+		if c.StoreSlot() >= c.CopySlot() {
+			t.Errorf("%s: store slot should be below copy slot", c.Name)
+		}
+		if c.SegmentOverhead() <= c.LoadSlot() {
+			t.Errorf("%s: segment overhead should exceed one load slot", c.Name)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+// Package fft implements the paper's application kernel (§7): a
+// parallel 2D-FFT structured exactly as the Fx-compiled code — local
+// row FFTs, a global row-column transpose, local column FFTs, and a
+// second transpose. The numeric FFT is real (verified against a
+// direct DFT); the performance numbers come from the simulated
+// machines: computation from the flop rate and the measured memory
+// characterization, communication from the simulated transposes.
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// FFT1D performs an in-place radix-2 decimation-in-time FFT of x.
+// len(x) must be a power of two. inverse selects the inverse
+// transform (scaled by 1/N).
+func FFT1D(x []complex128, inverse bool) {
+	n := len(x)
+	if n&(n-1) != 0 {
+		panic("fft: length not a power of two")
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := sign * 2 * math.Pi / float64(length)
+		wl := cmplx.Exp(complex(0, ang))
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			for j := 0; j < length/2; j++ {
+				u := x[i+j]
+				v := x[i+j+length/2] * w
+				x[i+j] = u + v
+				x[i+j+length/2] = u - v
+				w *= wl
+			}
+		}
+	}
+	if inverse {
+		inv := complex(1/float64(n), 0)
+		for i := range x {
+			x[i] *= inv
+		}
+	}
+}
+
+// FFT2D performs an in-place 2D FFT of the n x n matrix m (row-major,
+// rows of length n), using the four-step structure of the paper's
+// kernel: row FFTs, transpose, row FFTs (former columns), transpose.
+func FFT2D(m []complex128, n int, inverse bool) {
+	if len(m) != n*n {
+		panic("fft: matrix size mismatch")
+	}
+	rowPass := func() {
+		for r := 0; r < n; r++ {
+			FFT1D(m[r*n:(r+1)*n], inverse)
+		}
+	}
+	rowPass()
+	Transpose(m, n)
+	rowPass()
+	Transpose(m, n)
+}
+
+// Transpose transposes the n x n matrix m in place.
+func Transpose(m []complex128, n int) {
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			m[i*n+j], m[j*n+i] = m[j*n+i], m[i*n+j]
+		}
+	}
+}
+
+// Flops1D returns the floating point operations of one length-n
+// complex FFT (the standard 5 n log2 n accounting the paper's
+// MFlop/s figures use).
+func Flops1D(n int) int64 {
+	return int64(5*n) * int64(math.Round(math.Log2(float64(n))))
+}
+
+// Flops2D returns the operations of an n x n 2D FFT: 2n row FFTs.
+func Flops2D(n int) int64 { return 2 * int64(n) * Flops1D(n) }

@@ -1,0 +1,194 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// dft is the O(n^2) reference transform.
+func dft(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for t := 0; t < n; t++ {
+			ang := sign * 2 * math.Pi * float64(k) * float64(t) / float64(n)
+			sum += x[t] * cmplx.Exp(complex(0, ang))
+		}
+		if inverse {
+			sum /= complex(float64(n), 0)
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+func randomSignal(n int, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func maxErr(a, b []complex128) float64 {
+	var m float64
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestFFT1DMatchesDFT(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16, 64, 256} {
+		x := randomSignal(n, int64(n))
+		want := dft(x, false)
+		got := append([]complex128(nil), x...)
+		FFT1D(got, false)
+		if e := maxErr(got, want); e > 1e-9*float64(n) {
+			t.Errorf("n=%d: max error %g vs DFT", n, e)
+		}
+	}
+}
+
+func TestFFT1DRoundTrip(t *testing.T) {
+	x := randomSignal(1024, 7)
+	y := append([]complex128(nil), x...)
+	FFT1D(y, false)
+	FFT1D(y, true)
+	if e := maxErr(x, y); e > 1e-9 {
+		t.Errorf("round trip error %g", e)
+	}
+}
+
+func TestFFT1DImpulse(t *testing.T) {
+	// FFT of a unit impulse is all ones.
+	x := make([]complex128, 16)
+	x[0] = 1
+	FFT1D(x, false)
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("impulse FFT bin %d = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestFFT1DLinearity(t *testing.T) {
+	a := randomSignal(128, 1)
+	b := randomSignal(128, 2)
+	sum := make([]complex128, 128)
+	for i := range sum {
+		sum[i] = 2*a[i] + 3*b[i]
+	}
+	FFT1D(a, false)
+	FFT1D(b, false)
+	FFT1D(sum, false)
+	for i := range sum {
+		want := 2*a[i] + 3*b[i]
+		if cmplx.Abs(sum[i]-want) > 1e-9 {
+			t.Fatalf("linearity violated at bin %d", i)
+		}
+	}
+}
+
+func TestFFT1DParseval(t *testing.T) {
+	x := randomSignal(512, 9)
+	var timeE float64
+	for _, v := range x {
+		timeE += real(v)*real(v) + imag(v)*imag(v)
+	}
+	FFT1D(x, false)
+	var freqE float64
+	for _, v := range x {
+		freqE += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if math.Abs(freqE/float64(len(x))-timeE) > 1e-6*timeE {
+		t.Errorf("Parseval violated: time %g vs freq/N %g", timeE, freqE/512)
+	}
+}
+
+func TestFFT1DPanicsOnNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic for n=12")
+		}
+	}()
+	FFT1D(make([]complex128, 12), false)
+}
+
+func TestTranspose(t *testing.T) {
+	n := 8
+	m := make([]complex128, n*n)
+	for i := range m {
+		m[i] = complex(float64(i), 0)
+	}
+	Transpose(m, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if m[i*n+j] != complex(float64(j*n+i), 0) {
+				t.Fatalf("transpose wrong at (%d,%d)", i, j)
+			}
+		}
+	}
+	Transpose(m, n)
+	for i := range m {
+		if m[i] != complex(float64(i), 0) {
+			t.Fatalf("double transpose not identity at %d", i)
+		}
+	}
+}
+
+func TestFFT2DRoundTrip(t *testing.T) {
+	n := 32
+	m := randomSignal(n*n, 11)
+	orig := append([]complex128(nil), m...)
+	FFT2D(m, n, false)
+	FFT2D(m, n, true)
+	if e := maxErr(m, orig); e > 1e-8 {
+		t.Errorf("2D round trip error %g", e)
+	}
+}
+
+func TestFFT2DSeparability(t *testing.T) {
+	// 2D FFT of a separable signal f(i,j) = g(i)h(j) is G(k)H(l).
+	n := 16
+	g := randomSignal(n, 3)
+	h := randomSignal(n, 4)
+	m := make([]complex128, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m[i*n+j] = g[i] * h[j]
+		}
+	}
+	FFT2D(m, n, false)
+	G := append([]complex128(nil), g...)
+	H := append([]complex128(nil), h...)
+	FFT1D(G, false)
+	FFT1D(H, false)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := G[i] * H[j]
+			if cmplx.Abs(m[i*n+j]-want) > 1e-8 {
+				t.Fatalf("separability violated at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestFlopsAccounting(t *testing.T) {
+	if got := Flops1D(256); got != 5*256*8 {
+		t.Errorf("Flops1D(256) = %d, want %d", got, 5*256*8)
+	}
+	if got := Flops2D(256); got != 2*256*5*256*8 {
+		t.Errorf("Flops2D(256) = %d", got)
+	}
+}

@@ -1,0 +1,161 @@
+package fft
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+var (
+	studyOnce sync.Once
+	studyM    map[string]machine.Machine
+	studyC    map[string]*core.Characterization
+)
+
+func studySetup(t *testing.T) (map[string]machine.Machine, map[string]*core.Characterization) {
+	t.Helper()
+	studyOnce.Do(func() {
+		studyM = map[string]machine.Machine{
+			"8400": machine.NewDEC8400(4),
+			"t3d":  machine.NewT3D(4),
+			"t3e":  machine.NewT3E(4),
+		}
+		studyC = make(map[string]*core.Characterization)
+		for k, m := range studyM {
+			studyC[k] = core.Measure(m, core.DefaultMeasure())
+		}
+	})
+	return studyM, studyC
+}
+
+func run(t *testing.T, key string, n int) Result {
+	t.Helper()
+	ms, cs := studySetup(t)
+	r, err := Run2D(ms[key], n, Options{Char: cs[key]})
+	if err != nil {
+		t.Fatalf("%s n=%d: %v", key, n, err)
+	}
+	return r
+}
+
+// within25 checks a value against a paper figure at ±35% (the figure
+// values are read off bar charts).
+func within(t *testing.T, label string, got, want, tolFrac float64) {
+	t.Helper()
+	if got < want*(1-tolFrac) || got > want*(1+tolFrac) {
+		t.Errorf("%s = %.0f, paper ~%.0f (±%.0f%%)", label, got, want, tolFrac*100)
+	}
+}
+
+func TestFFT256Headline(t *testing.T) {
+	// §7.2: "For a 256x256 point 2D-FFT the Cray has an overall
+	// performance of 133 MFlop/s with four processors while the DEC
+	// 8400 peaks with about 220 MFlop/s ... the T3E performs at 330
+	// MFlop/s, about 50% above the DEC 8400."
+	t3d := run(t, "t3d", 256)
+	dec := run(t, "8400", 256)
+	t3e := run(t, "t3e", 256)
+	within(t, "T3D 256^2 MFlop/s", t3d.MFlops, 133, 0.35)
+	within(t, "8400 256^2 MFlop/s", dec.MFlops, 220, 0.35)
+	within(t, "T3E 256^2 MFlop/s", t3e.MFlops, 330, 0.35)
+	if !(t3d.MFlops < dec.MFlops && dec.MFlops < t3e.MFlops) {
+		t.Errorf("overall ordering violated: T3D %.0f, 8400 %.0f, T3E %.0f",
+			t3d.MFlops, dec.MFlops, t3e.MFlops)
+	}
+	// "an improvement in performance of about 75%" 8400 over T3D,
+	// loosely; at least 1.3x and at most 2.2x.
+	r := dec.MFlops / t3d.MFlops
+	if r < 1.3 || r > 2.2 {
+		t.Errorf("8400/T3D ratio = %.2f, paper ~1.65", r)
+	}
+}
+
+func TestComputationRatio8400OverT3D(t *testing.T) {
+	// §7.3: "the sum of local computation performance over all four
+	// processors is more than a factor 2.5 higher on the DEC 8400
+	// than on the Cray T3D."
+	t3d := run(t, "t3d", 256)
+	dec := run(t, "8400", 256)
+	if r := dec.ComputeMFlops / t3d.ComputeMFlops; r < 2.2 {
+		t.Errorf("computation ratio 8400/T3D = %.2f, paper >2.5", r)
+	}
+}
+
+func TestT3DFallsOffAtLargeProblems(t *testing.T) {
+	// §7.3: "the performance on the T3D falls off with large
+	// problems, while the performance on the DEC 8400 stays nearly
+	// at the same level."
+	t3dSmall := run(t, "t3d", 256)
+	t3dBig := run(t, "t3d", 1024)
+	decSmall := run(t, "8400", 256)
+	decBig := run(t, "8400", 1024)
+	t3dDrop := t3dBig.ComputeMFlops / t3dSmall.ComputeMFlops
+	decDrop := decBig.ComputeMFlops / decSmall.ComputeMFlops
+	if t3dDrop >= 1.0 {
+		t.Errorf("T3D compute should fall at 1024^2: ratio %.2f", t3dDrop)
+	}
+	if decDrop < t3dDrop {
+		t.Errorf("8400 (%.2f) should hold up better than T3D (%.2f)", decDrop, t3dDrop)
+	}
+	if decDrop < 0.85 {
+		t.Errorf("8400 compute should stay nearly level: ratio %.2f", decDrop)
+	}
+}
+
+func TestT3EComputeBeatsOthers(t *testing.T) {
+	// §7.3: "The T3E can deliver even higher local performance (up
+	// to 200 MFlop/s per processor)".
+	t3e := run(t, "t3e", 256)
+	dec := run(t, "8400", 256)
+	perProc := t3e.ComputeMFlops / 4
+	within(t, "T3E per-proc compute MFlop/s", perProc, 200, 0.35)
+	if t3e.ComputeMFlops <= dec.ComputeMFlops {
+		t.Errorf("T3E compute (%.0f) should beat 8400 (%.0f)", t3e.ComputeMFlops, dec.ComputeMFlops)
+	}
+}
+
+func TestCommunicationLimits8400(t *testing.T) {
+	// §7.3: the 8400's fast processors are held back by a
+	// communication system at T3D level: its comm MB/s must not
+	// exceed ~1.5x the T3D's, while the T3E clearly beats both.
+	t3d := run(t, "t3d", 256)
+	dec := run(t, "8400", 256)
+	t3e := run(t, "t3e", 256)
+	if dec.CommMBps > t3d.CommMBps*1.6 {
+		t.Errorf("8400 comm (%.0f) should be near T3D's (%.0f)", dec.CommMBps, t3d.CommMBps)
+	}
+	if t3e.CommMBps < 1.5*t3d.CommMBps {
+		t.Errorf("T3E comm (%.0f) should be well above T3D (%.0f)", t3e.CommMBps, t3d.CommMBps)
+	}
+}
+
+func TestPlannerImprovesT3ETranspose(t *testing.T) {
+	// §7.3: the vendor shmem_iput under-performs on the transpose's
+	// even strides ("a rewrite of this crucial primitive is
+	// planned"); the planner's fetch strategy is the rewrite.
+	ms, cs := studySetup(t)
+	vendor, err := Run2D(ms["t3e"], 256, Options{Char: cs["t3e"]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	planned, err := Run2D(ms["t3e"], 256, Options{Char: cs["t3e"], UsePlanner: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planned.CommTime >= vendor.CommTime {
+		t.Errorf("planned transpose (%v) should beat vendor iput (%v)",
+			planned.CommTime, vendor.CommTime)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := run(t, "t3d", 64)
+	if r.String() == "" {
+		t.Errorf("empty result string")
+	}
+	if r.Total != r.ComputeTime+r.CommTime {
+		t.Errorf("total != compute + comm")
+	}
+}

@@ -1,0 +1,123 @@
+// Package fx is a miniature of the Fx parallelizing compiler's
+// communication back-end (§2.1, Catacomb [13]): it takes an HPF-style
+// array assignment between distributed arrays, derives the
+// redistribution each processor must perform, and uses the extended
+// copy-transfer model (internal/core) to choose the cheapest
+// implementation — the exact decision loop the paper builds the
+// characterization for.
+package fx
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/units"
+)
+
+// Distribution describes how a 2D array is distributed over P
+// processors (HPF block distributions).
+type Distribution int
+
+const (
+	// BlockRow distributes contiguous row blocks.
+	BlockRow Distribution = iota
+	// BlockCol distributes contiguous column blocks.
+	BlockCol
+)
+
+func (d Distribution) String() string {
+	if d == BlockRow {
+		return "(BLOCK,*)"
+	}
+	return "(*,BLOCK)"
+}
+
+// Array is a distributed 2D array of 64-bit word elements.
+type Array struct {
+	Name string
+	// N is the square dimension; ElemWords the element width (2 for
+	// the FFT's complex numbers).
+	N         int
+	ElemWords int
+	Dist      Distribution
+}
+
+// Assign is an array assignment statement "Dst = Src" between two
+// distributed arrays — the paper's transposes are assignments between
+// a (BLOCK,*) and a (*,BLOCK) array.
+type Assign struct {
+	Dst, Src Array
+	P        int
+}
+
+// IsTranspose reports whether the assignment requires an all-to-all
+// redistribution (distributions differ).
+func (a Assign) IsTranspose() bool { return a.Dst.Dist != a.Src.Dist }
+
+// Redistribution derives the per-processor communication volume and
+// stride of the assignment.
+func (a Assign) Redistribution() core.Redistribution {
+	n := a.Src.N
+	elemWords := a.Src.ElemWords
+	if elemWords < 1 {
+		elemWords = 1
+	}
+	perProc := units.Bytes(n/a.P*n*elemWords) * units.Word
+	remote := perProc / units.Bytes(a.P) * units.Bytes(a.P-1)
+	return core.Redistribution{
+		Bytes:        remote,
+		RemoteStride: n * elemWords,
+	}
+}
+
+// Plan is the compiler's chosen communication schedule.
+type Plan struct {
+	Assign   Assign
+	Strategy core.Strategy
+	// Mode is the transfer primitive the generated code will use.
+	Mode machine.Mode
+	// Alternatives are the rejected strategies, for the report.
+	Alternatives []core.Strategy
+}
+
+// Compile plans the assignment's communication on a machine described
+// by its characterization. A non-transpose assignment needs no
+// communication and returns a zero-cost plan.
+func Compile(char *core.Characterization, a Assign) (Plan, error) {
+	if !a.IsTranspose() {
+		return Plan{Assign: a, Strategy: core.Strategy{Name: "local (no communication)"}}, nil
+	}
+	r := a.Redistribution()
+	strategies := char.Plan(r)
+	if len(strategies) == 0 {
+		return Plan{}, fmt.Errorf("fx: no feasible communication strategy on %s", char.MachineName)
+	}
+	p := Plan{Assign: a, Strategy: strategies[0], Alternatives: strategies[1:]}
+	p.Mode = machine.Fetch
+	for _, s := range strategies[0].Steps {
+		if s.Locality == core.Remote {
+			p.Mode = s.Mode
+		}
+	}
+	return p, nil
+}
+
+// Report renders the plan the way a compiler report would.
+func (p Plan) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "assign %s%v = %s%v on %d processors\n",
+		p.Assign.Dst.Name, p.Assign.Dst.Dist, p.Assign.Src.Name, p.Assign.Src.Dist, p.Assign.P)
+	if !p.Assign.IsTranspose() {
+		b.WriteString("  no communication required\n")
+		return b.String()
+	}
+	r := p.Assign.Redistribution()
+	fmt.Fprintf(&b, "  redistribution: %v per processor, stride %d words\n", r.Bytes, r.RemoteStride)
+	fmt.Fprintf(&b, "  chosen: %-28s %8.1f MB/s  (%v)\n", p.Strategy.Name, p.Strategy.BW.MBps(), p.Strategy.Time)
+	for _, alt := range p.Alternatives {
+		fmt.Fprintf(&b, "  rejected: %-26s %8.1f MB/s  (%v)\n", alt.Name, alt.BW.MBps(), alt.Time)
+	}
+	return b.String()
+}

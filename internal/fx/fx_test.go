@@ -1,0 +1,113 @@
+package fx
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/units"
+)
+
+var (
+	fxOnce sync.Once
+	fxChar map[string]*core.Characterization
+)
+
+// quick characterizations on a coarse grid keep the tests fast.
+func chars(t *testing.T) map[string]*core.Characterization {
+	t.Helper()
+	fxOnce.Do(func() {
+		opt := core.MeasureOptions{
+			Strides:     []int{1, 16, 128},
+			WorkingSets: []units.Bytes{64 * units.KB, 4 * units.MB},
+			CopyWS:      4 * units.MB,
+		}
+		fxChar = map[string]*core.Characterization{
+			"8400": core.Measure(machine.NewDEC8400(4), opt),
+			"t3d":  core.Measure(machine.NewT3D(4), opt),
+			"t3e":  core.Measure(machine.NewT3E(4), opt),
+		}
+	})
+	return fxChar
+}
+
+func transposeAssign(n int) Assign {
+	return Assign{
+		Dst: Array{Name: "B", N: n, ElemWords: 2, Dist: BlockCol},
+		Src: Array{Name: "A", N: n, ElemWords: 2, Dist: BlockRow},
+		P:   4,
+	}
+}
+
+func TestNoCommunicationForSameDistribution(t *testing.T) {
+	cs := chars(t)
+	a := transposeAssign(256)
+	a.Dst.Dist = BlockRow
+	plan, err := Compile(cs["t3d"], a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Strategy.Time != 0 || !strings.Contains(plan.Report(), "no communication") {
+		t.Errorf("aligned assignment should need no communication: %+v", plan.Strategy)
+	}
+}
+
+func TestRedistributionGeometry(t *testing.T) {
+	r := transposeAssign(256).Redistribution()
+	// 64 rows x 256 complex x 16 B = 256 KB per proc, 3/4 remote.
+	if r.Bytes != 192*units.KB {
+		t.Errorf("redistribution bytes = %v, want 192k", r.Bytes)
+	}
+	if r.RemoteStride != 512 {
+		t.Errorf("stride = %d, want 512 words", r.RemoteStride)
+	}
+}
+
+func TestCompileChoosesPerMachine(t *testing.T) {
+	cs := chars(t)
+	a := transposeAssign(1024)
+
+	t3d, err := Compile(cs["t3d"], a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t3d.Mode != machine.Deposit {
+		t.Errorf("T3D compile chose %v (%s), want deposit (§9)", t3d.Mode, t3d.Strategy.Name)
+	}
+
+	t3e, err := Compile(cs["t3e"], a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t3e.Mode != machine.Fetch {
+		t.Errorf("T3E compile chose %v (%s), want fetch (§5.6)", t3e.Mode, t3e.Strategy.Name)
+	}
+
+	dec, err := Compile(cs["8400"], a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Mode != machine.Fetch {
+		t.Errorf("8400 compile chose %v, but the 8400 can only pull (§9)", dec.Mode)
+	}
+}
+
+func TestReportListsAlternatives(t *testing.T) {
+	cs := chars(t)
+	plan, err := Compile(cs["t3e"], transposeAssign(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := plan.Report()
+	if !strings.Contains(rep, "chosen:") || !strings.Contains(rep, "rejected:") {
+		t.Errorf("report should list chosen and rejected strategies:\n%s", rep)
+	}
+}
+
+func TestDistributionString(t *testing.T) {
+	if BlockRow.String() != "(BLOCK,*)" || BlockCol.String() != "(*,BLOCK)" {
+		t.Errorf("distribution strings wrong")
+	}
+}

@@ -1,0 +1,147 @@
+// Package machine assembles the three parallel systems of the paper
+// from the simulator's components, with every calibration constant
+// annotated with the datasheet or measured figure it reproduces:
+//
+//   - DEC 8400: 4x 300 MHz 21164, three cache levels, snooping bus,
+//     shared interleaved DRAM (NewDEC8400).
+//   - Cray T3D: 150 MHz 21064 nodes, write-through L1 + coalescing
+//     write queue, external read-ahead, 3D torus with one network
+//     access per node pair (NewT3D).
+//   - Cray T3E: 300 MHz 21164 nodes, stream buffers, E-registers,
+//     3D torus with per-node network access (NewT3E).
+//
+// The Machine interface exposes exactly what the paper's benchmarks
+// need: local nodes, a global address-space layout, and the remote
+// transfer mechanisms of each system.
+package machine
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/access"
+	"repro/internal/node"
+	"repro/internal/units"
+)
+
+// RegionBits partitions the global address space: node i owns
+// addresses [i<<RegionBits, (i+1)<<RegionBits).
+const RegionBits = 32
+
+// Owner returns the node id owning global address a.
+func Owner(a access.Addr) int { return int(a >> RegionBits) }
+
+// LocalBase returns the base address of node i's memory region.
+func LocalBase(i int) access.Addr { return access.Addr(i) << RegionBits }
+
+// Mode selects the direction of a remote transfer.
+type Mode int
+
+const (
+	// Fetch pulls data: remote loads (shmem_iget, coherence pull).
+	Fetch Mode = iota
+	// Deposit pushes data: remote stores (shmem_iput, write-queue
+	// capture). Unsupported on the DEC 8400 (§5.2).
+	Deposit
+	// NaiveFetch uses transparent blocking remote loads on the T3D
+	// (no prefetch queue) — the path the paper measured "an order
+	// of magnitude below the network bandwidth" (§5.4).
+	NaiveFetch
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Fetch:
+		return "fetch"
+	case Deposit:
+		return "deposit"
+	case NaiveFetch:
+		return "naive-fetch"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Options tunes a Transfer.
+type Options struct {
+	Mode Mode
+	// Pipelined chunks the transfer so that each chunk is pulled
+	// while still hot in the producer's cache — the steady-state
+	// communication pattern of compiled codes on the 8400 (§6.2,
+	// Figure 12). Ignored by the Cray machines, whose engines read
+	// memory directly.
+	Pipelined bool
+	// ChunkBytes overrides the pipelined chunk size (default 1 MB,
+	// comfortably inside the 8400's 4 MB L3).
+	ChunkBytes units.Bytes
+}
+
+// ErrUnsupported is returned for transfer modes a machine cannot
+// perform (e.g. Deposit on the DEC 8400: "The DEC 8400 does not have
+// support for pushing data into memory or caches of a remote
+// processor", §5.2).
+var ErrUnsupported = errors.New("transfer mode not supported by this machine")
+
+// Machine is one of the three modelled parallel systems.
+type Machine interface {
+	// Name identifies the machine ("DEC 8400", "Cray T3D", ...).
+	Name() string
+	// NumNodes returns the number of processing elements.
+	NumNodes() int
+	// Node returns processing element i.
+	Node(i int) *node.Node
+	// Transfer moves cp.WorkingSet bytes from src's memory (at
+	// cp.SrcBase, read with cp.LoadStride) into dst's memory (at
+	// cp.DstBase, written with cp.StoreStride) and returns the
+	// simulated elapsed time.
+	Transfer(src, dst int, cp access.CopyPattern, opt Options) (units.Time, error)
+	// ResetTiming clears clocks and occupancy everywhere, keeping
+	// cache contents (primed-cache semantics between passes).
+	ResetTiming()
+	// ColdReset additionally invalidates all caches.
+	ColdReset()
+}
+
+// resetNodes is shared by the machine implementations.
+func resetNodes(nodes []*node.Node) {
+	for _, n := range nodes {
+		n.ResetTiming()
+	}
+}
+
+func coldNodes(nodes []*node.Node) {
+	for _, n := range nodes {
+		n.ResetTiming()
+		n.InvalidateCaches()
+	}
+}
+
+// PreferredPartner returns the canonical remote partner of node 0 for
+// two-party transfer measurements: node 2 on the T3D (nodes 0 and 1
+// share a network access, so the paper measures p0,1 -> p2,3), node 1
+// elsewhere.
+func PreferredPartner(m Machine) int {
+	if mpp, ok := m.(*MPP); ok && mpp.net.Config().SharedNI && m.NumNodes() > 2 {
+		return 2
+	}
+	if m.NumNodes() > 1 {
+		return 1
+	}
+	return 0
+}
+
+// Barrier synchronizes all node clocks of m to the latest one plus
+// the given barrier latency (the paper's direct-deposit model keeps
+// synchronization separate from data transfer, §2.2).
+func Barrier(m Machine, lat units.Time) units.Time {
+	var maxT units.Time
+	for i := 0; i < m.NumNodes(); i++ {
+		if t := m.Node(i).Now(); t > maxT {
+			maxT = t
+		}
+	}
+	maxT += lat
+	for i := 0; i < m.NumNodes(); i++ {
+		m.Node(i).AdvanceTo(maxT)
+	}
+	return maxT
+}

@@ -1,0 +1,118 @@
+package machine
+
+import (
+	"repro/internal/cache"
+	"repro/internal/cpu"
+	"repro/internal/node"
+	"repro/internal/remote"
+	"repro/internal/stream"
+	"repro/internal/torus"
+	"repro/internal/units"
+)
+
+// NewT3D builds an n-processor Cray T3D partition (§3.2): 150 MHz
+// 21064 nodes with a single on-chip cache, external read-ahead logic,
+// a coalescing write-back queue, and a 3D torus in which two
+// processing elements share one network access.
+func NewT3D(n int) *MPP {
+	if n < 1 {
+		n = 1
+	}
+	x, y, z := torusShape(n)
+	net := torus.New(torus.Config{
+		X: x, Y: y, Z: z,
+		// Injection: 100 ns per message plus 3.5 ns/B. A coalesced
+		// 32 B deposit packet (plus 8 B address header, "both
+		// address and data are sent over the network", §3.2)
+		// occupies 240 ns -> 133 MB/s; a strided single-word packet
+		// 156 ns -> 51 MB/s: the deposit plateaus of Figures 5/13
+		// (~125 contiguous, ~55 strided).
+		NIOverhead:  100,
+		NIPerByte:   3.5,
+		LinkPerByte: 4, // >200 MB/s raw links (§3.2)
+		HopLatency:  30,
+		SharedNI:    true, // two PEs per network access (§3.2 footnote)
+		RecvFactor:  0.5,
+	})
+
+	m := &MPP{name: "Cray T3D", kind: kindT3D, net: net}
+	for i := 0; i < n; i++ {
+		m.nodes = append(m.nodes, node.New(i, t3dNode()))
+	}
+	m.router = &remote.DepositRouter{
+		Net:         net,
+		Owner:       Owner,
+		Nodes:       m.nodes,
+		HeaderBytes: 8,
+	}
+	m.fifo = remote.FIFOConfig{
+		// The external FIFO pre-fetch queue (§3.2).
+		Depth:         16,
+		RequestBytes:  16,
+		ResponseBytes: 16,
+		IssueSlot:     cpu.EV4().LoadSlot(),
+	}
+	m.wireRemote(16, 16)
+	return m
+}
+
+// t3dNode configures one 21064 processing element of the T3D.
+func t3dNode() node.Config {
+	return node.Config{
+		CPU: cpu.EV4(),
+		Levels: []node.LevelSpec{{
+			// 8 KB direct-mapped, data-only, write-through,
+			// read-allocate (§3.2).
+			Cache: cache.Config{Name: "L1", Size: 8 * units.KB, LineSize: 32,
+				Assoc: 1, Write: cache.WriteThrough, Alloc: cache.ReadAllocate},
+		}},
+		DRAM: node.DRAMSpec{
+			Banks:           4,
+			InterleaveBytes: 32,
+			RowBytes:        2 * units.KB,
+			LineBytes:       32,
+			// 32 B / 164 ns = 195 MB/s: contiguous DRAM loads with
+			// the read-ahead logic, "about 30% faster than in the
+			// DEC 8400" (§5.3).
+			SeqOcc: 164,
+			// Read-ahead off (load-time switch, §3.2): ~120 MB/s.
+			SeqOccNoStream: 267,
+			// 8 B / 186 ns = 43 MB/s: the strided DRAM plateau
+			// (§5.5 quotes 43 MByte/s on the T3D).
+			WordOcc:       186,
+			EngineWordOcc: 120,
+			// Write path is separate from the read path ("with its
+			// completely different read and write paths", §3.2):
+			// 32 B coalesced entries stream at 100 ns; a strided
+			// one-word entry occupies the write channel 114 ns ->
+			// 8 B / 114 ns = 70 MB/s, the strided-store plateau of
+			// Figure 10 (§6.1).
+			WriteSeqOcc:  100,
+			WriteWordOcc: 114,
+			SplitRW:      true,
+			BankOcc:      60,
+			RowPenalty:   25,
+			// The external read-ahead logic tracks a single
+			// contiguous stream; a copy loop's two interleaved
+			// streams defeat it, which is why the T3D's contiguous
+			// copy (Figure 10, ~100 MB/s) is slower than its pure
+			// contiguous loads (Figure 3, ~195 MB/s).
+			Stream: stream.Config{Enabled: true, Streams: 1, Threshold: 2, LineBytes: 32,
+				WriteInterrupts: true},
+		},
+		WB: node.WriteBufferSpec{Entries: 6, EntryBytes: 32, SlackEntries: 4},
+	}
+}
+
+// torusShape factors n into a compact 3D torus shape.
+func torusShape(n int) (x, y, z int) {
+	x, y, z = 1, 1, 1
+	dims := []*int{&x, &y, &z}
+	i := 0
+	for n > 1 {
+		*dims[i%3] *= 2
+		n = (n + 1) / 2
+		i++
+	}
+	return x, y, z
+}

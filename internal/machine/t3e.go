@@ -1,0 +1,140 @@
+package machine
+
+import (
+	"repro/internal/cache"
+	"repro/internal/cpu"
+	"repro/internal/node"
+	"repro/internal/remote"
+	"repro/internal/stream"
+	"repro/internal/torus"
+	"repro/internal/units"
+)
+
+// NewT3E builds an n-processor Cray T3E partition (§3.3): 300 MHz
+// 21164 nodes with on-chip L1/L2 (no board cache), stream buffers,
+// E-registers for remote transfers, and a 3D torus with a network
+// access per processor.
+func NewT3E(n int) *MPP {
+	if n < 1 {
+		n = 1
+	}
+	x, y, z := torusShape(n)
+	net := torus.New(torus.Config{
+		X: x, Y: y, Z: z,
+		// E-register traffic: a vectorized 64 B block occupies the
+		// NI for 41+128 = 169 ns -> ~380 MB/s raw, landing at the
+		// ~350 MB/s contiguous transfer plateau of Figures 7/8
+		// after the destination write path; a single-word element
+		// costs 41+16 = 57 ns -> the ~140 MB/s strided plateau.
+		NIOverhead:  41,
+		NIPerByte:   2.0,
+		LinkPerByte: 0.35, // "raw link throughput improves significantly" (§3.3)
+		HopLatency:  15,
+		SharedNI:    false, // "every processor has its own network access" (§5.6)
+		RecvFactor:  0.5,
+	})
+
+	m := &MPP{name: "Cray T3E", kind: kindT3E, net: net}
+	for i := 0; i < n; i++ {
+		m.nodes = append(m.nodes, node.New(i, t3eNode()))
+	}
+	m.router = &remote.DepositRouter{
+		Net:         net,
+		Owner:       Owner,
+		Nodes:       m.nodes,
+		HeaderBytes: 8,
+	}
+	m.ereg = remote.ERegConfig{
+		Registers:  512, // the 512 E-registers (§5.6)
+		BlockBytes: 64,
+		IssueSlot:  cpu.EV5().Clock.Cycles(2),
+	}
+	m.wireRemote(16, 16)
+	return m
+}
+
+// NewT3ENoStreams builds a T3E with the streaming support disabled —
+// the "earlier test-vehicle" of the §5.5 footnote, which measured
+// about 120 MB/s for contiguous DRAM loads instead of 430. Useful as
+// an ablation of the stream units.
+func NewT3ENoStreams(n int) *MPP {
+	m := NewT3E(n)
+	m.name = "Cray T3E (streams disabled)"
+	for i := range m.nodes {
+		cfg := t3eNode()
+		cfg.DRAM.Stream.Enabled = false
+		m.nodes[i] = node.New(i, cfg)
+	}
+	m.router.Nodes = m.nodes
+	m.wireRemote(16, 16)
+	return m
+}
+
+// t3eNode configures one 21164 processing element of the T3E.
+func t3eNode() node.Config {
+	c := cpu.EV5()
+	// The T3E's libsci 1D-FFT reaches ~200 MFlop/s per processor
+	// (§7.3), "possibly due to its better memory system with
+	// streaming units ... part of that improvement could also be
+	// attributed to better coding of the 1D-FFT primitive".
+	c.FlopsPerCycle = 0.75
+	return node.Config{
+		CPU: c,
+		Levels: []node.LevelSpec{
+			{
+				// Same on-chip L1 as the 8400's 21164 (§3.3: the
+				// memory system "inherits its cache structure from
+				// the DEC 21164 processor").
+				Cache: cache.Config{Name: "L1", Size: 8 * units.KB, LineSize: 32,
+					Assoc: 1, Write: cache.WriteThrough, Alloc: cache.ReadAllocate},
+			},
+			{
+				// 96 KB 3-way unified write-back on chip; same ~700
+				// MB/s plateau as on the 8400 ("the local memory
+				// access performance of the T3E resembles the
+				// picture of the DEC 8400 in the performance of its
+				// L1 and L2 caches", §5.5).
+				Cache: cache.Config{Name: "L2", Size: 96 * units.KB, LineSize: 32,
+					Assoc: 3, Write: cache.WriteBack, Alloc: cache.ReadWriteAllocate, Shared: true},
+				FillOcc:  45.7,
+				WordOcc:  11.4,
+				WriteOcc: 11.4,
+			},
+		},
+		DRAM: node.DRAMSpec{
+			Banks:           8,
+			InterleaveBytes: 16,
+			RowBytes:        2 * units.KB,
+			LineBytes:       64,
+			// 64 B / 149 ns = 430 MB/s: streamed contiguous DRAM
+			// loads ("the T3E node is capable of load transfers of
+			// up to 430 MByte/s", §5.5).
+			SeqOcc: 149,
+			// Streams disabled (the "earlier test-vehicle" ablation,
+			// §5.5 footnote): 64 B / 533 ns = 120 MB/s.
+			SeqOccNoStream: 533,
+			// 8 B / 190 ns = 42 MB/s: strided DRAM loads "seem stuck
+			// at about 42 MByte/s on the T3E" (§5.5).
+			WordOcc:       190,
+			EngineWordOcc: 45,
+			// Destination write path of E-register puts: 64 B
+			// blocks stream at 160 ns; an isolated word costs
+			// 30+20 = 50 ns (below the 57 ns NI element cost, so
+			// odd strides run at ~140 MB/s). The 114 ns bank
+			// occupancy makes same-bank (even-stride) deposit
+			// streams serialize at 8 B / 114 ns = 70 MB/s — the
+			// ripples of Figure 8 (§5.6).
+			WriteSeqOcc:  160,
+			WriteWordOcc: 30,
+			BankOcc:      114,
+			RowPenalty:   25,
+			Stream:       stream.Config{Enabled: true, Streams: 6, Threshold: 2, LineBytes: 64},
+		},
+		WB: node.WriteBufferSpec{Entries: 6, EntryBytes: 64, SlackEntries: 4,
+			// The streaming support covers write streams, letting
+			// contiguous stores avoid the write-allocate fetch —
+			// the T3E's 200 MB/s contiguous copy vs the 8400's 57
+			// (§6.1).
+			WriteCombine: true},
+	}
+}

@@ -1,0 +1,354 @@
+// Package node composes a processing element from the simulator's
+// components: a CPU issue model, one to three cache levels, a write
+// buffer, a stream detector, and a banked DRAM system. It produces
+// the *local* memory-system timing of one node of the DEC 8400, Cray
+// T3D, or Cray T3E; the remote paths (bus coherence, torus deposits
+// and fetches, E-register transfers) are layered on top of the
+// engine-side entry points by internal/machine.
+//
+// The timing discipline: a benchmark loop calls LoadWord / StoreWord
+// / CopyWord for each element in traversal order. Each call advances
+// the node's clock by the CPU issue slot plus any stall that the
+// memory system exposes beyond the compiled loop's latency-hiding
+// window. Plateaus emerge from pipelined resource occupancies; the
+// stride and working-set structure of the paper's figures emerges
+// from the genuine cache tag state and bank geometry.
+package node
+
+import (
+	"repro/internal/access"
+	"repro/internal/cache"
+	"repro/internal/cpu"
+	"repro/internal/dram"
+	"repro/internal/sim"
+	"repro/internal/stream"
+	"repro/internal/units"
+)
+
+// LevelSpec configures one cache level and the timing of fills
+// *provided by* that level (i.e. the cost of reading this level from
+// above).
+type LevelSpec struct {
+	Cache cache.Config
+	// FillOcc is the pipelined per-line occupancy when this level
+	// serves a sequential run of line fills.
+	FillOcc units.Time
+	// WordOcc is the per-access occupancy when this level serves an
+	// isolated (non-sequential) fill — critical-word-first service.
+	WordOcc units.Time
+	// WriteOcc is the occupancy of absorbing a victim write-back
+	// from the level above.
+	WriteOcc units.Time
+}
+
+// DRAMSpec configures the node's main memory timing.
+type DRAMSpec struct {
+	// Banks / InterleaveBytes / RowBytes describe the bank geometry
+	// (conflict and page texture).
+	Banks           int
+	InterleaveBytes units.Bytes
+	RowBytes        units.Bytes
+	// LineBytes is the fill granularity between the deepest cache
+	// and DRAM.
+	LineBytes units.Bytes
+
+	// SeqOcc is the per-line channel occupancy for sequential fills
+	// once the stream hardware is established.
+	SeqOcc units.Time
+	// SeqOccNoStream is the per-line occupancy of sequential fills
+	// without established streaming (training, or streams disabled —
+	// the T3E "test vehicle" ablation, §5.5 footnote).
+	SeqOccNoStream units.Time
+	// WordOcc is the per-access occupancy of isolated reads.
+	WordOcc units.Time
+	// WriteSeqOcc / WriteWordOcc are the corresponding write-side
+	// occupancies (write-buffer drains, victim write-backs, incoming
+	// remote deposits).
+	WriteSeqOcc  units.Time
+	WriteWordOcc units.Time
+	// EngineWordOcc is the per-word occupancy of isolated reads
+	// issued by the remote-support circuitry (E-registers, deposit
+	// engine). It is lower than WordOcc because the engines keep
+	// hundreds of accesses in flight and bypass the processor's
+	// miss path; zero defaults to WordOcc.
+	EngineWordOcc units.Time
+	// BankOcc is the occupancy charged on the selected bank per
+	// line-sized operation; bank conflicts serialize on it.
+	BankOcc units.Time
+	// RowPenalty is added to the bank occupancy on a row (DRAM page)
+	// change.
+	RowPenalty units.Time
+	// SplitRW gives writes their own channel (the T3D's "completely
+	// different read and write paths", §3.2); otherwise reads and
+	// writes share one memory port.
+	SplitRW bool
+
+	// Stream configures the sequential-run detector.
+	Stream stream.Config
+}
+
+// MemBackend resolves memory traffic that misses every cache level,
+// when the node's main memory is not private: on the DEC 8400 all
+// nodes share the bus-attached DRAM, so fills and writes cross the
+// snooping bus (internal/coherence implements this). Nodes without a
+// backend (Cray T3D/T3E) use their private DRAM path.
+type MemBackend interface {
+	// Fill delivers the line of lineBytes at address line to the
+	// requesting node and returns when the data arrives.
+	Fill(nodeID int, line access.Addr, lineBytes units.Bytes, now units.Time) units.Time
+	// Write absorbs nb bytes at address a (write-buffer drains and
+	// victim write-backs) and returns the completion time.
+	Write(nodeID int, a access.Addr, nb units.Bytes, now units.Time) units.Time
+}
+
+// WriteBufferSpec configures the store retire path.
+type WriteBufferSpec struct {
+	Entries    int
+	EntryBytes units.Bytes
+	// SlackEntries is how many outstanding line-fill equivalents a
+	// store can leave behind before the processor stalls (a miss
+	// queue depth).
+	SlackEntries float64
+	// WriteCombine lets a detected contiguous store run that covers
+	// whole cache lines allocate without the write-allocate fetch
+	// (the T3E's streaming support covers write streams; the DEC
+	// 8400 has no such assist and pays the allocate read, which is
+	// why its contiguous copies disappoint, §6.1).
+	WriteCombine bool
+}
+
+// Config assembles a node.
+type Config struct {
+	CPU    cpu.Config
+	Levels []LevelSpec
+	DRAM   DRAMSpec
+	WB     WriteBufferSpec
+}
+
+// Node is one processing element with its local memory system.
+type Node struct {
+	ID  int
+	cfg Config
+
+	clock  sim.Clock
+	window sim.Window
+
+	caches []*cache.Cache
+	fills  []sim.Resource
+	// free-ride state: the last provider line filled per level and
+	// when it arrived, so a second upper-level miss inside the same
+	// provider line rides along instead of double-charging.
+	lastLine  []access.Addr
+	lastReady []units.Time
+	lastValid []bool
+	// sequential-fill detection per cache level
+	seqNext []access.Addr
+
+	det       *stream.Detector
+	banks     *dram.DRAM
+	port      sim.Resource // memory read channel (all traffic unless SplitRW)
+	writePort sim.Resource // memory write channel when SplitRW
+	dramLast  access.Addr  // free-ride + sequential detection for fills
+	dramValid bool
+	dramReady units.Time
+	dramSeq   access.Addr
+
+	wb cache.WriteBuffer
+	// engine-side sequence state (remote deposit/fetch circuitry)
+	engRead, engWrite access.Addr
+	engReadOK         bool
+	engWriteOK        bool
+
+	backend MemBackend
+
+	// remote routing (global address space on the Crays)
+	ownerFn  func(access.Addr) int
+	remoteWr func(a access.Addr, nb units.Bytes, now units.Time) units.Time
+	remoteRd func(a access.Addr, nb units.Bytes, now units.Time) units.Time
+
+	// contiguous store-run detection for write combining
+	storeRunNext access.Addr
+	storeRunLen  int64
+
+	stats Stats
+}
+
+// Stats aggregates a node's activity.
+type Stats struct {
+	Loads, Stores   int64
+	LoadStall       units.Time
+	StoreStall      units.Time
+	DRAMFills       int64
+	DRAMStreamFills int64
+	EngineReads     int64
+	EngineWrites    int64
+}
+
+// New builds a node from its configuration.
+func New(id int, cfg Config) *Node {
+	n := &Node{
+		ID:     id,
+		cfg:    cfg,
+		window: sim.Window{Depth: cfg.CPU.HideDepth},
+		det:    stream.New(cfg.DRAM.Stream),
+	}
+	for _, ls := range cfg.Levels {
+		n.caches = append(n.caches, cache.New(ls.Cache))
+	}
+	n.fills = make([]sim.Resource, len(cfg.Levels))
+	n.lastLine = make([]access.Addr, len(cfg.Levels))
+	n.lastReady = make([]units.Time, len(cfg.Levels))
+	n.lastValid = make([]bool, len(cfg.Levels))
+	n.seqNext = make([]access.Addr, len(cfg.Levels))
+	if cfg.DRAM.LineBytes <= 0 {
+		n.cfg.DRAM.LineBytes = 64
+	}
+	n.banks = dram.New(dram.Config{
+		Name:            "dram",
+		Banks:           cfg.DRAM.Banks,
+		InterleaveBytes: cfg.DRAM.InterleaveBytes,
+		RowBytes:        cfg.DRAM.RowBytes,
+		RowHit:          cfg.DRAM.BankOcc,
+		RowMiss:         cfg.DRAM.BankOcc + cfg.DRAM.RowPenalty,
+		PerByte:         0,
+	})
+	n.wb = cache.WriteBuffer{Entries: cfg.WB.Entries, EntryBytes: cfg.WB.EntryBytes}
+	return n
+}
+
+// SetBackend attaches a shared-memory backend; fills and writes that
+// miss every cache level then go through it instead of the node's
+// private DRAM.
+func (n *Node) SetBackend(b MemBackend) { n.backend = b }
+
+// SetRemoteRouter attaches a global-address-space router: memory
+// traffic whose address owner is another node is redirected to the
+// remote write path (deposits captured from the write queue, §3.2)
+// or, for loads, the remote read path (transparent blocking remote
+// loads). Either function may be nil to forbid that direction.
+func (n *Node) SetRemoteRouter(
+	owner func(access.Addr) int,
+	write func(a access.Addr, nb units.Bytes, now units.Time) units.Time,
+	read func(a access.Addr, nb units.Bytes, now units.Time) units.Time,
+) {
+	n.ownerFn = owner
+	n.remoteWr = write
+	n.remoteRd = read
+}
+
+// remoteAddr reports whether a belongs to another node's memory.
+func (n *Node) remoteAddr(a access.Addr) bool {
+	return n.ownerFn != nil && n.ownerFn(a) != n.ID
+}
+
+// Config returns the node's configuration.
+func (n *Node) Config() Config { return n.cfg }
+
+// CPU returns the node's issue model.
+func (n *Node) CPU() cpu.Config { return n.cfg.CPU }
+
+// Now returns the node's current simulated time.
+func (n *Node) Now() units.Time { return n.clock.Now() }
+
+// AdvanceTo moves the node's clock forward to t (for barriers).
+func (n *Node) AdvanceTo(t units.Time) { n.clock.AdvanceTo(t) }
+
+// Advance moves the node's clock forward by d.
+func (n *Node) Advance(d units.Time) { n.clock.Advance(d) }
+
+// Stats returns a snapshot of the activity counters.
+func (n *Node) Stats() Stats { return n.stats }
+
+// CacheStats returns the per-level cache counters.
+func (n *Node) CacheStats() []cache.Stats {
+	out := make([]cache.Stats, len(n.caches))
+	for i, c := range n.caches {
+		out[i] = c.Stats()
+	}
+	return out
+}
+
+// DRAMStats returns the bank-level counters.
+func (n *Node) DRAMStats() dram.Stats { return n.banks.Stats() }
+
+// ResetTiming clears all occupancy, sequencing, and clock state while
+// *keeping cache tag contents* — exactly what the paper's benchmarks
+// need between the priming pass and the measured pass ("start with a
+// primed cache for exactly that working set", §5).
+func (n *Node) ResetTiming() {
+	n.clock.Reset()
+	for i := range n.fills {
+		n.fills[i].Reset()
+		n.lastValid[i] = false
+		n.seqNext[i] = 0
+	}
+	n.port.Reset()
+	n.writePort.Reset()
+	n.banks.Reset()
+	n.det.Reset()
+	n.dramValid = false
+	n.dramSeq = 0
+	n.wb.Reset()
+	n.engReadOK = false
+	n.engWriteOK = false
+	n.stats = Stats{}
+}
+
+// InvalidateCaches drops every cache line on the node (the T3D's
+// whole-cache invalidation at synchronization points, §3.2).
+func (n *Node) InvalidateCaches() {
+	for _, c := range n.caches {
+		c.InvalidateAll()
+	}
+}
+
+// InvalidateLine drops the line containing a from all levels (remote
+// deposit circuitry storing into local memory, §3.2; bus snooping on
+// the 8400).
+func (n *Node) InvalidateLine(a access.Addr) {
+	for _, c := range n.caches {
+		c.Invalidate(a)
+	}
+}
+
+// CleanLine marks the line containing a clean in every level that
+// holds it (after the node supplied the line to a snooping reader).
+func (n *Node) CleanLine(a access.Addr) {
+	for _, c := range n.caches {
+		c.Clean(a)
+	}
+}
+
+// HoldsDirty reports whether any level caches address a in dirty
+// state (used by the 8400 coherence protocol).
+func (n *Node) HoldsDirty(a access.Addr) bool {
+	for _, c := range n.caches {
+		if c.Dirty(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// Holds reports whether any cache level contains address a.
+func (n *Node) Holds(a access.Addr) bool {
+	for _, c := range n.caches {
+		if c.Contains(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// SegmentStart charges the benchmark outer-loop restart overhead.
+func (n *Node) SegmentStart() {
+	n.clock.Advance(n.cfg.CPU.SegmentOverhead())
+}
+
+// FlushWrites drains the write buffer and advances the clock to the
+// completion of all pending stores (synchronization points flush the
+// write path before signalling).
+func (n *Node) FlushWrites() {
+	done := n.wb.Flush(n.clock.Now(), n.dramWriteTarget())
+	n.clock.AdvanceTo(done)
+}

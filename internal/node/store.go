@@ -1,0 +1,172 @@
+package node
+
+import (
+	"repro/internal/access"
+	"repro/internal/cache"
+	"repro/internal/units"
+)
+
+// StoreWord performs one element of a store loop at address a,
+// advancing the clock by the issue slot plus any exposed stall
+// (stores retire into buffers; stalls arise only from backpressure).
+func (n *Node) StoreWord(a access.Addr) {
+	now := n.clock.Now()
+	slot := n.cfg.CPU.StoreSlot()
+	stall := n.resolveStore(a, now)
+	n.stats.Stores++
+	n.stats.StoreStall += stall
+	n.clock.Advance(slot + stall)
+}
+
+// CopyWord performs one element of a load/store copy loop: load the
+// word at src, store it at dst.
+func (n *Node) CopyWord(src, dst access.Addr) {
+	now := n.clock.Now()
+	slot := n.cfg.CPU.CopySlot()
+	ready := n.resolveLoad(src, now)
+	loadStall := n.window.Stall(now, ready, slot)
+	storeStall := n.resolveStore(dst, now+loadStall)
+	n.stats.Loads++
+	n.stats.Stores++
+	n.stats.LoadStall += loadStall
+	n.stats.StoreStall += storeStall
+	n.clock.Advance(slot + loadStall + storeStall)
+}
+
+// resolveStore propagates a store down the hierarchy and returns the
+// stall charged to the processor.
+func (n *Node) resolveStore(a access.Addr, now units.Time) units.Time {
+	if a == n.storeRunNext {
+		n.storeRunLen++
+	} else {
+		n.storeRunLen = 1
+	}
+	n.storeRunNext = a + access.Addr(units.Word)
+	for k := 0; k < len(n.caches); k++ {
+		r := n.caches[k].Access(a, true)
+		if r.HasWriteBack {
+			n.writeVictim(k, r.WriteBack, now)
+		}
+		switch {
+		case r.Hit && !r.WriteThrough:
+			// Retired into a write-back level.
+			return 0
+		case r.Hit && r.WriteThrough:
+			// Write-through hit: continue to the next level.
+		case r.Filled:
+			// Write-allocate miss: the line must be fetched from
+			// below before the store's line can retire; the
+			// processor stalls only if the fetch backlog exceeds
+			// the miss-queue slack. A write-combining node skips
+			// the fetch for contiguous runs covering whole lines.
+			if n.cfg.WB.WriteCombine &&
+				n.storeRunLen >= n.cfg.Levels[k].Cache.LineSize.Words() {
+				return 0
+			}
+			ready := n.fillFrom(k+1, a, now)
+			return n.storeSlackStall(now, ready)
+		default:
+			// Non-allocating miss: propagate to the next level.
+		}
+	}
+	// Fell out of all cache levels: retire through the write buffer
+	// into DRAM.
+	return n.wb.Push(a, now, n.dramWriteTarget())
+}
+
+// storeSlackStall converts a write-allocate fetch completion into a
+// processor stall, allowing SlackEntries outstanding fetches.
+func (n *Node) storeSlackStall(now, ready units.Time) units.Time {
+	slack := units.Time(n.cfg.WB.SlackEntries) * n.cfg.DRAM.WriteWordOcc
+	if ready <= now+slack {
+		return 0
+	}
+	return ready - now - slack
+}
+
+// writeVictim charges the write path below level k for absorbing a
+// dirty victim line evicted from level k, and marks the absorbing
+// level dirty so the data eventually reaches memory.
+func (n *Node) writeVictim(k int, lineAddr access.Addr, now units.Time) {
+	if k+1 < len(n.caches) {
+		spec := n.cfg.Levels[k+1]
+		n.fills[k+1].Acquire(now, spec.WriteOcc)
+		if !n.caches[k+1].SetDirty(lineAddr) {
+			// Not resident below (exclusion): the victim continues
+			// toward memory.
+			n.writeVictim(k+1, lineAddr, now)
+		}
+		return
+	}
+	// Victim leaves the deepest cache: write to memory.
+	n.memWrite(lineAddr, units.Bytes(n.cfg.Levels[k].Cache.LineSize), now)
+}
+
+// dramWriteTarget is the drain target of the write buffer: entries
+// drain into the memory write path.
+func (n *Node) dramWriteTarget() cache.DrainTarget {
+	return func(a access.Addr, nb units.Bytes, now units.Time) units.Time {
+		return n.memWrite(a, nb, now)
+	}
+}
+
+// memWrite routes a memory write through the backend when attached,
+// through the remote router for foreign addresses, else through the
+// private DRAM write path.
+func (n *Node) memWrite(a access.Addr, nb units.Bytes, now units.Time) units.Time {
+	if n.backend != nil {
+		// Outgoing writes cross the node's board interface too.
+		d := &n.cfg.DRAM
+		perByte := d.WriteSeqOcc / units.Time(d.LineBytes)
+		occ := d.WriteWordOcc
+		if n.engWriteOK && a == n.engWrite {
+			occ = perByte * units.Time(nb)
+		}
+		n.engWrite = a + access.Addr(nb)
+		n.engWriteOK = true
+		start := n.port.Acquire(now, occ)
+		done := n.backend.Write(n.ID, a, nb, start)
+		if start+occ > done {
+			done = start + occ
+		}
+		return done
+	}
+	if n.remoteAddr(a) && n.remoteWr != nil {
+		return n.remoteWr(a, nb, now)
+	}
+	return n.dramWrite(a, nb, now)
+}
+
+// dramWrite charges the write channel and banks for a write of nb
+// bytes at a (write-buffer drains, victim write-backs, incoming
+// engine deposits). Sequential runs stream at WriteSeqOcc per line
+// (scaled to the written size) and saturate the channel; an isolated
+// write releases the channel after the fixed WriteWordOcc — the data
+// drains from the write buffers into the banks, whose occupancy is
+// charged separately.
+func (n *Node) dramWrite(a access.Addr, nb units.Bytes, now units.Time) units.Time {
+	d := &n.cfg.DRAM
+	perByte := d.WriteSeqOcc / units.Time(d.LineBytes)
+	var occ units.Time
+	sequential := n.engWriteOK && a == n.engWrite
+	if sequential {
+		occ = perByte * units.Time(nb)
+	} else {
+		occ = d.WriteWordOcc
+	}
+	if d.Stream.WriteInterrupts {
+		n.det.Interrupt()
+	}
+	n.engWrite = a + access.Addr(nb)
+	n.engWriteOK = true
+	ch := &n.port
+	if d.SplitRW {
+		ch = &n.writePort
+	}
+	start := ch.Acquire(now, occ)
+	bankDone := n.banks.Access(a, 0, start)
+	if bankDone > start+occ {
+		return bankDone
+	}
+	return start + occ
+}

@@ -1,0 +1,224 @@
+// Package remote implements the one-sided transfer engines of the
+// Cray machines:
+//
+//   - T3D deposits: "remote stores are directly captured from the
+//     write back queues" (§3.2) — the producer's CPU copy loop runs
+//     normally and its write-buffer entries become torus packets.
+//   - T3D fetches: remote loads through the "external FIFO pre-fetch
+//     queue located in the support circuitry" (§3.2) — a bounded
+//     request/response pipeline.
+//   - T3E transfers: both directions move through the E-registers in
+//     the support circuitry (§3.3), chunked into cache-line blocks
+//     when contiguous and into single words when strided.
+//
+// All engines return the simulated elapsed time of the transfer,
+// measured from a common zero after the machine's timing state was
+// reset.
+package remote
+
+import (
+	"repro/internal/access"
+	"repro/internal/node"
+	"repro/internal/torus"
+	"repro/internal/units"
+)
+
+// FIFOConfig parameterizes the T3D fetch pipeline.
+type FIFOConfig struct {
+	// Depth is the number of outstanding prefetch slots.
+	Depth int
+	// RequestBytes / ResponseBytes are the packet sizes of the
+	// address request and the data response.
+	RequestBytes  units.Bytes
+	ResponseBytes units.Bytes
+	// IssueSlot is the consumer's per-element issue cost.
+	IssueSlot units.Time
+}
+
+// FetchFIFO pulls the words of cp from the src node's memory into the
+// dst node's memory through a prefetch FIFO of the given depth,
+// returning the elapsed time. Loads are strided per cp.LoadStride on
+// the source; stores land per cp.StoreStride at the destination.
+//
+// The pipeline works in FIFO-depth windows: all requests of a window
+// are injected back to back, the source engine reads stream behind
+// them, and the responses return while the next window's requests are
+// already queuing — the overlap the prefetch queue exists to provide.
+func FetchFIFO(net *torus.Network, src, dst *node.Node, cp access.CopyPattern, cfg FIFOConfig) units.Time {
+	if cfg.Depth < 1 {
+		cfg.Depth = 1
+	}
+	loads := make([]access.Addr, 0, cfg.Depth)
+	stores := make([]access.Addr, 0, cfg.Depth)
+	reqs := make([]units.Time, cfg.Depth)
+	var now, last units.Time
+
+	flush := func() {
+		if len(loads) == 0 {
+			return
+		}
+		for i := range loads {
+			reqs[i] = net.Send(dst.ID, src.ID, cfg.RequestBytes, now)
+			now += cfg.IssueSlot
+		}
+		var firstDone units.Time
+		for i := range loads {
+			readDone := src.EngineRead(loads[i], units.Word, reqs[i])
+			resp := net.Send(src.ID, dst.ID, cfg.ResponseBytes, readDone)
+			done := dst.EngineWrite(stores[i], units.Word, resp)
+			if i == 0 {
+				firstDone = done
+			}
+			if done > last {
+				last = done
+			}
+		}
+		// The next window's requests need free FIFO slots, which
+		// appear once this window's first response has returned.
+		if firstDone > now {
+			now = firstDone
+		}
+		loads = loads[:0]
+		stores = stores[:0]
+	}
+
+	cp.Walk(func(la, sa access.Addr, _ bool) {
+		loads = append(loads, la)
+		stores = append(stores, sa)
+		if len(loads) == cfg.Depth {
+			flush()
+		}
+	})
+	flush()
+	if last > now {
+		return last
+	}
+	return now
+}
+
+// ERegConfig parameterizes the T3E E-register engine.
+type ERegConfig struct {
+	// Registers is the number of E-registers (512 on the T3E); it
+	// bounds the outstanding element transfers.
+	Registers int
+	// BlockBytes is the vectorized chunk used when both sides are
+	// contiguous.
+	BlockBytes units.Bytes
+	// IssueSlot is the processor's per-operation cost of launching
+	// an E-register get/put.
+	IssueSlot units.Time
+}
+
+// Dir is the direction of an E-register transfer.
+type Dir int
+
+const (
+	// Get pulls data from the remote node (shmem_iget: remote
+	// loads).
+	Get Dir = iota
+	// Put pushes data to the remote node (shmem_iput: remote
+	// stores).
+	Put
+)
+
+// EReg moves the words of cp between local and rem through the
+// E-registers. For Get, rem is the source (cp.LoadStride applies to
+// its memory) and local receives at cp.StoreStride. For Put, local is
+// read at cp.LoadStride and rem written at cp.StoreStride. Returns
+// the elapsed time.
+func EReg(net *torus.Network, local, rem *node.Node, cp access.CopyPattern, dir Dir, cfg ERegConfig) units.Time {
+	if cfg.Registers < 1 {
+		cfg.Registers = 1
+	}
+	chunk := units.Word
+	if cp.LoadStride <= 1 && cp.StoreStride <= 1 && cfg.BlockBytes > units.Word {
+		chunk = cfg.BlockBytes
+	}
+	wordsPerChunk := int64(chunk.Words())
+
+	srcNode, dstNode := local, rem
+	if dir == Get {
+		srcNode, dstNode = rem, local
+	}
+
+	outstanding := make([]units.Time, 0, cfg.Registers)
+	var now, last units.Time
+	var i int64
+	cp.Walk(func(la, sa access.Addr, _ bool) {
+		if i%wordsPerChunk != 0 {
+			i++
+			return
+		}
+		i++
+		if len(outstanding) == cfg.Registers {
+			earliest := 0
+			for j, c := range outstanding {
+				if c < outstanding[earliest] {
+					earliest = j
+				}
+			}
+			if outstanding[earliest] > now {
+				now = outstanding[earliest]
+			}
+			outstanding[earliest] = outstanding[len(outstanding)-1]
+			outstanding = outstanding[:len(outstanding)-1]
+		}
+		readDone := srcNode.EngineRead(la, chunk, now+cfg.IssueSlot)
+		arrive := net.Send(srcNode.ID, dstNode.ID, chunk, readDone)
+		done := dstNode.EngineWrite(sa, chunk, arrive)
+		outstanding = append(outstanding, done)
+		if done > last {
+			last = done
+		}
+		now += cfg.IssueSlot
+	})
+	if last > now {
+		return last
+	}
+	return now
+}
+
+// DepositRouter adapts a torus network into a node.Node remote write
+// path: write-buffer entries whose addresses belong to another node
+// become torus packets delivered to that node's deposit circuitry.
+// It implements the write half of the T3D's global address space.
+type DepositRouter struct {
+	Net *torus.Network
+	// Owner maps an address to its home node id.
+	Owner func(access.Addr) int
+	// Nodes resolves a node id to its model.
+	Nodes []*node.Node
+	// HeaderBytes is the per-packet address/routing overhead added
+	// to each payload ("both address and data are sent over the
+	// network", §3.2).
+	HeaderBytes units.Bytes
+
+	// LastDelivery is the completion time of the latest remote
+	// write (the transfer is done when the last deposit lands).
+	LastDelivery units.Time
+	// RemoteWrites counts packets routed.
+	RemoteWrites int64
+}
+
+// Write delivers nb bytes at global address a from node src, routing
+// remotely when a is not local. Remote deposits are fire-and-forget:
+// the returned time is when the packet left the source NI (freeing
+// the write-queue slot); the full delivery is tracked in
+// LastDelivery for end-of-transfer synchronization.
+func (d *DepositRouter) Write(src *node.Node, a access.Addr, nb units.Bytes, now units.Time) units.Time {
+	home := d.Owner(a)
+	if home == src.ID {
+		return src.EngineWrite(a, nb, now)
+	}
+	arrive := d.Net.Send(src.ID, home, nb+d.HeaderBytes, now)
+	done := d.Nodes[home].EngineWrite(a, nb, arrive)
+	if done > d.LastDelivery {
+		d.LastDelivery = done
+	}
+	d.RemoteWrites++
+	injected := d.Net.NIBusyUntil(src.ID, now)
+	if injected < now {
+		injected = now
+	}
+	return injected
+}

@@ -1,0 +1,58 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRowFormatting(t *testing.T) {
+	r := Row{Experiment: "Fig 1", Metric: "test", Paper: 100, Measured: 110, Unit: "MB/s"}
+	if r.Dev() != 0.1 {
+		t.Errorf("Dev = %v, want 0.1", r.Dev())
+	}
+	if !strings.Contains(r.String(), "+10%") {
+		t.Errorf("row string: %s", r.String())
+	}
+	zero := Row{Paper: 0, Measured: 5}
+	if zero.Dev() != 0 {
+		t.Errorf("zero-paper dev should be 0")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	rows := []Row{{Experiment: "Fig 3", Metric: "m", Paper: 195, Measured: 195}}
+	tbl := Table(rows)
+	if !strings.Contains(tbl, "| Exp") || !strings.Contains(tbl, "Fig 3") {
+		t.Errorf("table malformed:\n%s", tbl)
+	}
+}
+
+func TestMachines(t *testing.T) {
+	ms := Machines()
+	if len(ms) != 3 {
+		t.Fatalf("want 3 machines, got %d", len(ms))
+	}
+	for k, m := range ms {
+		if m.NumNodes() != 4 {
+			t.Errorf("%s: %d nodes, want 4 (the paper's partitions)", k, m.NumNodes())
+		}
+	}
+}
+
+// TestHeadlineLocalWithinPaperTolerance is the report-level smoke of
+// the calibration (details are asserted in internal/machine).
+func TestHeadlineLocalWithinPaperTolerance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep")
+	}
+	rows := HeadlineLocal(Machines())
+	if len(rows) < 10 {
+		t.Fatalf("expected the full Table A, got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if d := r.Dev(); d < -0.30 || d > 0.30 {
+			t.Errorf("%s %s: measured %.1f vs paper %.0f (%+.0f%%)",
+				r.Experiment, r.Metric, r.Measured, r.Paper, d*100)
+		}
+	}
+}

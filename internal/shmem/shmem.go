@@ -1,0 +1,78 @@
+// Package shmem provides the one-sided communication interface of the
+// Cray machines in the shapes the paper uses them (§2.2, §3): Put and
+// Get for contiguous blocks, IPut and IGet for strided element
+// transfers (shmem_iput / shmem_iget), plus the synchronization
+// primitives of the direct-deposit model — data transfer and
+// synchronization deliberately separated (§2.2).
+//
+// On the DEC 8400 only the Get family exists: "the implicit coherency
+// mechanism limits the user to pulling" (§9).
+package shmem
+
+import (
+	"repro/internal/access"
+	"repro/internal/machine"
+	"repro/internal/units"
+)
+
+// Ctx wraps a machine with the shmem API.
+type Ctx struct {
+	M machine.Machine
+}
+
+// Put pushes n contiguous bytes from src node's address sa to dst
+// node's address da, returning the simulated elapsed time.
+func (c Ctx) Put(src, dst int, sa, da access.Addr, n units.Bytes) (units.Time, error) {
+	cp := access.CopyPattern{SrcBase: sa, DstBase: da, WorkingSet: n, LoadStride: 1, StoreStride: 1}
+	return c.M.Transfer(src, dst, cp, machine.Options{Mode: machine.Deposit})
+}
+
+// Get pulls n contiguous bytes from src node's address sa into dst
+// node's address da.
+func (c Ctx) Get(src, dst int, sa, da access.Addr, n units.Bytes) (units.Time, error) {
+	cp := access.CopyPattern{SrcBase: sa, DstBase: da, WorkingSet: n, LoadStride: 1, StoreStride: 1}
+	return c.M.Transfer(src, dst, cp, machine.Options{Mode: machine.Fetch})
+}
+
+// IPut pushes nelems 64-bit words from src (read at sstride words)
+// into dst (written at tstride words) — shmem_iput semantics.
+func (c Ctx) IPut(src, dst int, sa, da access.Addr, tstride, sstride, nelems int) (units.Time, error) {
+	cp := access.CopyPattern{
+		SrcBase: sa, DstBase: da,
+		WorkingSet:  units.Bytes(nelems) * units.Word,
+		LoadStride:  sstride,
+		StoreStride: tstride,
+		LoadNoWrap:  sstride > 1,
+		StoreNoWrap: tstride > 1,
+	}
+	return c.M.Transfer(src, dst, cp, machine.Options{Mode: machine.Deposit})
+}
+
+// IGet pulls nelems 64-bit words from src (read at sstride words)
+// into dst (written at tstride words) — shmem_iget semantics.
+func (c Ctx) IGet(src, dst int, sa, da access.Addr, tstride, sstride, nelems int) (units.Time, error) {
+	cp := access.CopyPattern{
+		SrcBase: sa, DstBase: da,
+		WorkingSet:  units.Bytes(nelems) * units.Word,
+		LoadStride:  sstride,
+		StoreStride: tstride,
+		LoadNoWrap:  sstride > 1,
+		StoreNoWrap: tstride > 1,
+	}
+	return c.M.Transfer(src, dst, cp, machine.Options{Mode: machine.Fetch})
+}
+
+// Barrier synchronizes all processors (control is separated from data
+// transfer in the direct-deposit model, §2.2). It returns the time at
+// which every node proceeds.
+func (c Ctx) Barrier() units.Time {
+	return machine.Barrier(c.M, barrierLatency(c.M))
+}
+
+// barrierLatency approximates the hardware barrier / semaphore cost.
+func barrierLatency(m machine.Machine) units.Time {
+	if _, ok := m.(*machine.SMP); ok {
+		return 500 // bus semaphore round
+	}
+	return 2000 // torus barrier tree
+}

@@ -1,0 +1,83 @@
+package shmem
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/units"
+)
+
+func TestPutGetOnT3E(t *testing.T) {
+	c := Ctx{M: machine.NewT3E(2)}
+	put, err := c.Put(0, 1, machine.LocalBase(0), machine.LocalBase(1), units.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.M.ColdReset()
+	get, err := c.Get(0, 1, machine.LocalBase(0), machine.LocalBase(1), units.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bw := range []float64{units.BW(units.MB, put).MBps(), units.BW(units.MB, get).MBps()} {
+		if bw < 250 || bw > 450 {
+			t.Errorf("contiguous transfer = %.0f MB/s, want ~350", bw)
+		}
+	}
+}
+
+func TestIPutStridedRipples(t *testing.T) {
+	c := Ctx{M: machine.NewT3E(2)}
+	even, err := c.IPut(0, 1, machine.LocalBase(0), machine.LocalBase(1), 16, 1, 1<<17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.M.ColdReset()
+	odd, err := c.IPut(0, 1, machine.LocalBase(0), machine.LocalBase(1), 31, 1, 1<<17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if even <= odd {
+		t.Errorf("even-stride iput (%v) should be slower than odd (%v) — §5.6 ripples", even, odd)
+	}
+}
+
+func TestIGetAvoidsRipples(t *testing.T) {
+	c := Ctx{M: machine.NewT3E(2)}
+	get, err := c.IGet(0, 1, machine.LocalBase(0), machine.LocalBase(1), 1, 16, 1<<17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.M.ColdReset()
+	put, err := c.IPut(0, 1, machine.LocalBase(0), machine.LocalBase(1), 16, 1, 1<<17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if get >= put {
+		t.Errorf("even-stride get (%v) should beat put (%v) on the T3E", get, put)
+	}
+}
+
+func TestPutUnsupportedOn8400(t *testing.T) {
+	c := Ctx{M: machine.NewDEC8400(2)}
+	if _, err := c.Put(0, 1, machine.LocalBase(0), machine.LocalBase(1), units.KB); err == nil {
+		t.Fatalf("put must fail on the 8400 (§5.2)")
+	}
+	if _, err := c.Get(0, 1, machine.LocalBase(0), machine.LocalBase(1), units.KB); err != nil {
+		t.Fatalf("get should work on the 8400: %v", err)
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	c := Ctx{M: machine.NewT3D(4)}
+	c.M.Node(2).Advance(5000)
+	end := c.Barrier()
+	for i := 0; i < 4; i++ {
+		if c.M.Node(i).Now() != end {
+			t.Errorf("node %d not at barrier time", i)
+		}
+	}
+	smp := Ctx{M: machine.NewDEC8400(2)}
+	if smp.Barrier() <= 0 {
+		t.Errorf("SMP barrier should cost time")
+	}
+}

@@ -1,0 +1,95 @@
+package stream
+
+import (
+	"testing"
+
+	"repro/internal/access"
+)
+
+func detector() *Detector {
+	return New(Config{Enabled: true, Streams: 4, Threshold: 3, LineBytes: 32})
+}
+
+func TestSequentialStreamEstablishes(t *testing.T) {
+	d := detector()
+	var streaming int
+	for i := 0; i < 16; i++ {
+		if d.OnMiss(access.Addr(i * 32)) {
+			streaming++
+		}
+	}
+	// First Threshold misses train; the rest stream.
+	if streaming != 16-3 {
+		t.Errorf("streamed %d of 16 misses, want 13", streaming)
+	}
+}
+
+func TestStridedMissesNeverStream(t *testing.T) {
+	d := detector()
+	for i := 0; i < 32; i++ {
+		if d.OnMiss(access.Addr(i * 64)) { // skips every other line
+			t.Fatalf("non-sequential miss %d reported streaming", i)
+		}
+	}
+}
+
+func TestDisabledDetectorInert(t *testing.T) {
+	d := New(Config{Enabled: false, Streams: 4, Threshold: 1, LineBytes: 32})
+	for i := 0; i < 10; i++ {
+		if d.OnMiss(access.Addr(i * 32)) {
+			t.Fatalf("disabled detector must never stream")
+		}
+	}
+}
+
+func TestMultipleConcurrentStreams(t *testing.T) {
+	// Two interleaved sequential streams (copy loops read src and
+	// write dst) must both establish.
+	d := detector()
+	var streaming int
+	for i := 0; i < 32; i++ {
+		if d.OnMiss(access.Addr(i * 32)) {
+			streaming++
+		}
+		if d.OnMiss(access.Addr(1<<20 + i*32)) {
+			streaming++
+		}
+	}
+	if streaming != 2*(32-3) {
+		t.Errorf("two interleaved streams: %d streamed, want %d", streaming, 2*(32-3))
+	}
+}
+
+func TestStreamCapacityEviction(t *testing.T) {
+	// More interleaved streams than slots: none can establish with a
+	// single-slot detector because each miss evicts the other stream.
+	d := New(Config{Enabled: true, Streams: 1, Threshold: 2, LineBytes: 32})
+	for i := 0; i < 16; i++ {
+		if d.OnMiss(access.Addr(i*32)) || d.OnMiss(access.Addr(1<<20+i*32)) {
+			t.Fatalf("thrashing single-slot detector should never stream")
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	d := detector()
+	for i := 0; i < 8; i++ {
+		d.OnMiss(access.Addr(i * 32))
+	}
+	d.Reset()
+	if d.Established != 0 || d.Broken != 0 {
+		t.Errorf("reset should clear counters")
+	}
+	if d.OnMiss(0) {
+		t.Errorf("first miss after reset cannot stream")
+	}
+}
+
+func TestZeroConfigNormalized(t *testing.T) {
+	d := New(Config{})
+	cfg := d.Config()
+	if cfg.Streams < 1 || cfg.Threshold < 1 || cfg.LineBytes <= 0 {
+		t.Errorf("zero config not normalized: %+v", cfg)
+	}
+	d.OnMiss(0) // must not panic
+}

@@ -1,0 +1,103 @@
+package surface
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func grid() *Surface {
+	s := New("test", "load", []int{1, 4, 16}, []units.Bytes{units.KB, units.MB})
+	// ws=1K row: 1000, 800, 600; ws=1M row: 100, 80, 60.
+	vals := [][]float64{{1000, 800, 600}, {100, 80, 60}}
+	for wi := range vals {
+		for si := range vals[wi] {
+			s.Set(wi, si, units.MBps(vals[wi][si]))
+		}
+	}
+	return s
+}
+
+func TestAtExactPoints(t *testing.T) {
+	s := grid()
+	if got := s.At(units.KB, 4).MBps(); got != 800 {
+		t.Errorf("At(1K,4) = %v, want 800", got)
+	}
+	if got := s.At(units.MB, 16).MBps(); got != 60 {
+		t.Errorf("At(1M,16) = %v, want 60", got)
+	}
+}
+
+func TestAtInterpolatesAndClamps(t *testing.T) {
+	s := grid()
+	mid := s.At(units.KB, 2).MBps() // between 1000 and 800 in log space
+	if mid <= 800 || mid >= 1000 {
+		t.Errorf("interpolated value %v outside (800,1000)", mid)
+	}
+	if got := s.At(units.KB/4, 1).MBps(); got != 1000 {
+		t.Errorf("below-grid ws should clamp: %v", got)
+	}
+	if got := s.At(16*units.MB, 64).MBps(); got != 60 {
+		t.Errorf("above-grid point should clamp: %v", got)
+	}
+}
+
+func TestPlateau(t *testing.T) {
+	s := grid()
+	if got := s.Plateau(units.KB, units.KB, 1, 16).MBps(); got != 800 {
+		t.Errorf("plateau = %v, want mean 800", got)
+	}
+	if got := s.Plateau(units.GB, units.GB, 1, 1); got != 0 {
+		t.Errorf("empty plateau should be 0, got %v", got)
+	}
+}
+
+func TestMax(t *testing.T) {
+	if got := grid().Max().MBps(); got != 1000 {
+		t.Errorf("Max = %v", got)
+	}
+}
+
+func TestCSVAndASCII(t *testing.T) {
+	s := grid()
+	csv := s.CSV()
+	if !strings.Contains(csv, "1000.0") || !strings.Contains(csv, "ws\\stride") {
+		t.Errorf("CSV malformed:\n%s", csv)
+	}
+	art := s.ASCII()
+	if !strings.Contains(art, "peak 1000") {
+		t.Errorf("ASCII missing peak:\n%s", art)
+	}
+}
+
+func TestCurveAtAndTable(t *testing.T) {
+	c := &Curve{Machine: "m", Title: "t", Strides: []int{1, 8, 64},
+		BW: []units.BytesPerSec{units.MBps(100), units.MBps(50), units.MBps(20)}}
+	if got := c.At(8).MBps(); got != 50 {
+		t.Errorf("At(8) = %v", got)
+	}
+	between := c.At(3).MBps()
+	if between <= 50 || between >= 100 {
+		t.Errorf("interpolated curve value %v outside (50,100)", between)
+	}
+	if !strings.Contains(c.Table(), "stride") {
+		t.Errorf("Table malformed")
+	}
+}
+
+func TestWorkingSets(t *testing.T) {
+	ws := WorkingSets(units.KB, 8*units.KB)
+	if len(ws) != 4 || ws[0] != units.KB || ws[3] != 8*units.KB {
+		t.Errorf("WorkingSets = %v", ws)
+	}
+}
+
+func TestPaperAxes(t *testing.T) {
+	if PaperStrides[0] != 1 || PaperStrides[len(PaperStrides)-1] != 192 {
+		t.Errorf("paper stride axis wrong: %v", PaperStrides)
+	}
+	if CopyStrides[len(CopyStrides)-1] != 64 {
+		t.Errorf("copy stride axis should end at 64 (Figures 9-14)")
+	}
+}

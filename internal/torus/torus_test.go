@@ -1,0 +1,156 @@
+package torus
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func net222() *Network {
+	return New(Config{
+		X: 2, Y: 2, Z: 2,
+		NIOverhead: 100, NIPerByte: 4, LinkPerByte: 3, HopLatency: 20,
+	})
+}
+
+func TestHopsNeighbors(t *testing.T) {
+	n := net222()
+	if got := n.Hops(0, 1); got != 1 {
+		t.Errorf("x-neighbor hops = %d, want 1", got)
+	}
+	if got := n.Hops(0, 2); got != 1 {
+		t.Errorf("y-neighbor hops = %d, want 1", got)
+	}
+	if got := n.Hops(0, 4); got != 1 {
+		t.Errorf("z-neighbor hops = %d, want 1", got)
+	}
+	if got := n.Hops(0, 7); got != 3 {
+		t.Errorf("opposite corner hops = %d, want 3", got)
+	}
+	if got := n.Hops(3, 3); got != 0 {
+		t.Errorf("self hops = %d, want 0", got)
+	}
+}
+
+func TestTorusWrapsShortWay(t *testing.T) {
+	// In a 4-ring, 0 -> 3 is one hop the short way around.
+	n := New(Config{X: 4, Y: 1, Z: 1, HopLatency: 10})
+	if got := n.Hops(0, 3); got != 1 {
+		t.Errorf("torus wrap hops = %d, want 1", got)
+	}
+	if got := n.Hops(0, 2); got != 2 {
+		t.Errorf("half-way hops = %d, want 2", got)
+	}
+}
+
+func TestSendTiming(t *testing.T) {
+	n := net222()
+	// 32-byte message to an x-neighbor: inject 100+32*4=228,
+	// one hop: link acquire + 20 latency + 32*3 = 96 transfer,
+	// receive 228 at the destination NI.
+	got := n.Send(0, 1, 32, 0)
+	want := units.Time(228 + 20 + 96 + 228)
+	if got != want {
+		t.Errorf("arrival = %v, want %v", got, want)
+	}
+}
+
+func TestSendLocalOnlyInjection(t *testing.T) {
+	n := net222()
+	if got := n.Send(3, 3, 32, 0); got != 228 {
+		t.Errorf("self-send = %v, want 228 (injection only)", got)
+	}
+}
+
+func TestNISerializesMessages(t *testing.T) {
+	n := net222()
+	a1 := n.Send(0, 1, 32, 0)
+	a2 := n.Send(0, 1, 32, 0)
+	if a2 <= a1 {
+		t.Errorf("second message should queue behind first: %v then %v", a1, a2)
+	}
+	// Sustained rate = 1 message per injection occupancy (228ns).
+	if diff := a2 - a1; diff != 228 {
+		t.Errorf("pipelined message spacing = %v, want 228", diff)
+	}
+}
+
+func TestSharedNICouplesPairs(t *testing.T) {
+	shared := New(Config{X: 2, Y: 2, Z: 1, NIOverhead: 100, NIPerByte: 4,
+		LinkPerByte: 3, HopLatency: 20, SharedNI: true})
+	private := New(Config{X: 2, Y: 2, Z: 1, NIOverhead: 100, NIPerByte: 4,
+		LinkPerByte: 3, HopLatency: 20})
+	// Nodes 0 and 1 inject simultaneously. With a shared NI (T3D)
+	// they serialize; with private NIs (T3E) they do not.
+	s0 := shared.Send(0, 2, 32, 0)
+	s1 := shared.Send(1, 3, 32, 0)
+	p0 := private.Send(0, 2, 32, 0)
+	p1 := private.Send(1, 3, 32, 0)
+	if s1 <= s0 {
+		t.Errorf("shared NI should serialize pair injections")
+	}
+	if p0 != p1 {
+		t.Errorf("private NIs should let the pair inject in parallel: %v vs %v", p0, p1)
+	}
+}
+
+func TestLinkContention(t *testing.T) {
+	// Two different sources crossing the same link serialize on it.
+	n := New(Config{X: 4, Y: 1, Z: 1, NIOverhead: 10, NIPerByte: 0,
+		LinkPerByte: 10, HopLatency: 5})
+	// 0->2 and 1->2 both use link 1->2.
+	a := n.Send(0, 2, 64, 0)
+	b := n.Send(1, 2, 64, 0)
+	if b <= a-640 {
+		t.Errorf("contended link should delay second message: %v vs %v", b, a)
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	n := net222()
+	n.Send(0, 7, 1024, 0)
+	n.Reset()
+	if n.MessagesSent != 0 || n.BytesSent != 0 {
+		t.Errorf("counters survive reset")
+	}
+	if got := n.Send(0, 1, 32, 0); got != 228+20+96+228 {
+		t.Errorf("post-reset send = %v, want fresh timing", got)
+	}
+}
+
+func TestHopsSymmetric(t *testing.T) {
+	// Property: hop count is symmetric on a torus with dimension-
+	// order routing of shortest rings.
+	n := New(Config{X: 4, Y: 3, Z: 2})
+	f := func(a, b uint8) bool {
+		s, d := int(a)%24, int(b)%24
+		return n.Hops(s, d) == n.Hops(d, s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHopsBounded(t *testing.T) {
+	// Property: dimension-order hops never exceed sum of half-ring
+	// distances.
+	n := New(Config{X: 8, Y: 8, Z: 8})
+	f := func(a, b uint16) bool {
+		s, d := int(a)%512, int(b)%512
+		return n.Hops(s, d) <= 4+4+4
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := net222().String(); s != "2x2x2 torus" {
+		t.Errorf("String = %q", s)
+	}
+	sh := New(Config{X: 2, Y: 1, Z: 1, SharedNI: true})
+	if s := sh.String(); s != "2x1x1 torus, shared NI per node pair" {
+		t.Errorf("String = %q", s)
+	}
+}

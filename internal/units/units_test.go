@@ -1,0 +1,124 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{1, "1.00ns"},
+		{999, "999.00ns"},
+		{1500, "1.500us"},
+		{2.5e6, "2.500ms"},
+		{3e9, "3.000s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Time(%v).String() = %q, want %q", float64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestBytesString(t *testing.T) {
+	cases := []struct {
+		in   Bytes
+		want string
+	}{
+		{KB / 2, ".5k"},
+		{KB, "1k"},
+		{64 * KB, "64k"},
+		{MB, "1M"},
+		{128 * MB, "128M"},
+		{GB, "1G"},
+		{100, "100B"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Bytes(%d).String() = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestWords(t *testing.T) {
+	if got := (64 * KB).Words(); got != 8192 {
+		t.Errorf("64KB.Words() = %d, want 8192", got)
+	}
+	if got := Word.Words(); got != 1 {
+		t.Errorf("Word.Words() = %d, want 1", got)
+	}
+}
+
+func TestBW(t *testing.T) {
+	// 100 MB in one second is 100e6/1e6 = 104.86 MB/s in the paper's
+	// decimal convention (Bytes are binary, rates decimal).
+	got := BW(100*MB, Second)
+	want := float64(100*MB) / 1e6
+	if math.Abs(got.MBps()-want) > 1e-9 {
+		t.Errorf("BW = %v MB/s, want %v", got.MBps(), want)
+	}
+	if BW(MB, 0) != 0 {
+		t.Errorf("BW with zero duration should be 0")
+	}
+	if BW(MB, -5) != 0 {
+		t.Errorf("BW with negative duration should be 0")
+	}
+}
+
+func TestTimeForInvertsBW(t *testing.T) {
+	f := func(kb uint16, mbps uint16) bool {
+		n := Bytes(kb+1) * KB
+		b := MBps(float64(mbps + 1))
+		d := TimeFor(n, b)
+		back := BW(n, d)
+		return math.Abs(float64(back-b)/float64(b)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeForZeroBandwidth(t *testing.T) {
+	if TimeFor(MB, 0) != 0 {
+		t.Errorf("TimeFor with zero bandwidth should be 0")
+	}
+}
+
+func TestClock(t *testing.T) {
+	c := Clock{MHz: 300}
+	if math.Abs(float64(c.Cycle())-3.3333333) > 1e-4 {
+		t.Errorf("300MHz cycle = %v, want 3.333ns", c.Cycle())
+	}
+	if math.Abs(float64(c.Cycles(6))-20) > 1e-9 {
+		t.Errorf("6 cycles at 300MHz = %v, want 20ns", c.Cycles(6))
+	}
+	c150 := Clock{MHz: 150}
+	if math.Abs(float64(c150.Cycle())-6.6666666) > 1e-4 {
+		t.Errorf("150MHz cycle = %v, want 6.667ns", c150.Cycle())
+	}
+}
+
+func TestMFlops(t *testing.T) {
+	// 1e6 flops in 1ms = 1000 MFlop/s.
+	got := MFlops(1e6, Millisecond)
+	if math.Abs(got-1000) > 1e-9 {
+		t.Errorf("MFlops = %v, want 1000", got)
+	}
+	if MFlops(5, 0) != 0 {
+		t.Errorf("MFlops with zero time should be 0")
+	}
+}
+
+func TestMBpsRoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		x := float64(v%1000000) / 10
+		return math.Abs(MBps(x).MBps()-x) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
