@@ -1,0 +1,25 @@
+# Convenience targets; `make check` is the pre-commit gate.
+
+.PHONY: build test check lint fmt figures
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# check runs the full gate: build, gofmt (hard failure), go vet,
+# simlint, and the test suite under the race detector.
+check:
+	./scripts/check.sh
+
+# lint runs only the domain-specific analyzers.
+lint:
+	go run ./cmd/simlint ./...
+
+fmt:
+	gofmt -w .
+
+# figures regenerates the paper's tables/figures into out/.
+figures:
+	go run ./cmd/figures -all -out out

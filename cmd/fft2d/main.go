@@ -37,9 +37,9 @@ func main() {
 
 	ms := report.Machines()
 	cs := map[string]*core.Characterization{}
-	for k, m := range ms {
-		fmt.Fprintf(os.Stderr, "characterizing %s...\n", m.Name())
-		cs[k] = core.Measure(m, core.DefaultMeasure())
+	for _, k := range report.Names(ms) {
+		fmt.Fprintf(os.Stderr, "characterizing %s...\n", ms[k].Name())
+		cs[k] = core.Measure(ms[k], core.DefaultMeasure())
 	}
 
 	sizes := []int{32, 64, 128, 256, 512, 1024}
@@ -47,7 +47,7 @@ func main() {
 		sizes = []int{*one}
 	}
 
-	for _, k := range []string{"t3d", "8400", "t3e"} {
+	for _, k := range report.Names(ms) {
 		m := ms[k]
 		fmt.Printf("== %s ==\n", m.Name())
 		// The compiler's view of the transpose.

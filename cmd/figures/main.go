@@ -75,9 +75,9 @@ func tables(ms map[string]machine.Machine) error {
 
 func characterize(ms map[string]machine.Machine) map[string]*core.Characterization {
 	cs := make(map[string]*core.Characterization)
-	for k, m := range ms {
-		fmt.Fprintf(os.Stderr, "characterizing %s...\n", m.Name())
-		cs[k] = core.Measure(m, core.DefaultMeasure())
+	for _, k := range report.Names(ms) {
+		fmt.Fprintf(os.Stderr, "characterizing %s...\n", ms[k].Name())
+		cs[k] = core.Measure(ms[k], core.DefaultMeasure())
 	}
 	return cs
 }
@@ -210,16 +210,22 @@ func writeAll(ms map[string]machine.Machine, dir string, maxWS units.Bytes) erro
 			return err
 		}
 	}
-	for k, name := range map[string]string{"8400": "fig09", "t3d": "fig10", "t3e": "fig11"} {
-		fmt.Fprintf(os.Stderr, "sweeping %s local copies...\n", k)
-		a, b := report.CopyFigure(ms[k])
-		if err := write(fmt.Sprintf("%s_%s_local_copy.txt", name, k), a.Table()+"\n"+b.Table()); err != nil {
+	copyJobs := []struct{ key, name string }{
+		{"8400", "fig09"}, {"t3d", "fig10"}, {"t3e", "fig11"},
+	}
+	for _, j := range copyJobs {
+		fmt.Fprintf(os.Stderr, "sweeping %s local copies...\n", j.key)
+		a, b := report.CopyFigure(ms[j.key])
+		if err := write(fmt.Sprintf("%s_%s_local_copy.txt", j.name, j.key), a.Table()+"\n"+b.Table()); err != nil {
 			return err
 		}
 	}
-	for k, name := range map[string]string{"8400": "fig12", "t3d": "fig13", "t3e": "fig14"} {
-		fmt.Fprintf(os.Stderr, "sweeping %s remote copies...\n", k)
-		cs, err := report.RemoteCopyFigure(ms[k])
+	remoteJobs := []struct{ key, name string }{
+		{"8400", "fig12"}, {"t3d", "fig13"}, {"t3e", "fig14"},
+	}
+	for _, j := range remoteJobs {
+		fmt.Fprintf(os.Stderr, "sweeping %s remote copies...\n", j.key)
+		cs, err := report.RemoteCopyFigure(ms[j.key])
 		if err != nil {
 			return err
 		}
@@ -227,7 +233,7 @@ func writeAll(ms map[string]machine.Machine, dir string, maxWS units.Bytes) erro
 		for _, c := range cs {
 			txt += c.Table() + "\n"
 		}
-		if err := write(fmt.Sprintf("%s_%s_remote_copy.txt", name, k), txt); err != nil {
+		if err := write(fmt.Sprintf("%s_%s_remote_copy.txt", j.name, j.key), txt); err != nil {
 			return err
 		}
 	}

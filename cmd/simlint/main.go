@@ -1,0 +1,92 @@
+// Command simlint runs the simulator's domain-specific static
+// analyzers (internal/lint) over Go packages:
+//
+//	simlint ./...                 # whole module, human-readable
+//	simlint -json ./...           # machine-readable findings
+//	simlint -determinism=false .  # disable one analyzer
+//
+// Each analyzer has an enable flag named after it (default true).
+// Findings print as file:line:col: [analyzer] message. Exit status is
+// 0 when clean, 1 when any finding is reported, 2 on load or usage
+// errors. Suppress a finding with a `//simlint:ignore <analyzer>
+// <reason>` comment on the offending line or the line above.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	enabled := map[string]*bool{}
+	for _, a := range lint.All {
+		enabled[a.Name] = flag.Bool(a.Name, true, "enable the "+a.Name+" analyzer: "+a.Doc)
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var analyzers []*lint.Analyzer
+	for _, a := range lint.All {
+		if *enabled[a.Name] {
+			analyzers = append(analyzers, a)
+		}
+	}
+	if len(analyzers) == 0 {
+		fmt.Fprintln(os.Stderr, "simlint: every analyzer is disabled")
+		return 2
+	}
+
+	pkgs, err := lint.NewLoader().Load(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		return 2
+	}
+	diags := lint.Run(pkgs, analyzers)
+
+	// Paths relative to the working directory read better and keep
+	// output independent of where the checkout lives.
+	if wd, err := os.Getwd(); err == nil {
+		for i := range diags {
+			if rel, err := filepath.Rel(wd, diags[i].File); err == nil &&
+				!filepath.IsAbs(rel) && rel != "" {
+				diags[i].File = rel
+			}
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "simlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		}
+		return 1
+	}
+	return 0
+}

@@ -107,7 +107,7 @@ func (d *DRAM) Access(a access.Addr, n units.Bytes, now units.Time) units.Time {
 		b.openRow = row
 		b.hasRow = true
 	}
-	occ += units.Time(n) * d.cfg.PerByte
+	occ += d.cfg.PerByte.ByteCost(n)
 
 	start := b.res.Acquire(now, occ)
 	if start > now {
@@ -127,7 +127,7 @@ func (d *DRAM) Peek(a access.Addr, n units.Bytes, now units.Time) units.Time {
 	if b.hasRow && b.openRow == row {
 		occ = d.cfg.RowHit
 	}
-	occ += units.Time(n) * d.cfg.PerByte
+	occ += d.cfg.PerByte.ByteCost(n)
 	return b.res.Peek(now) + occ
 }
 

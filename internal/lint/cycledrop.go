@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Cycledrop flags call statements that discard a result carrying
+// simulated cost — units.Time (latency, occupancy) or units.Flops
+// (work). In a cycle-accurate model a dropped latency is a silent
+// miscalibration: the component computed when something finishes and
+// the caller threw it away. Discarding must be spelled `_ = f(...)`
+// so the decision is visible in review.
+var Cycledrop = &Analyzer{
+	Name: "cycledrop",
+	Doc: "flag discarded call results that carry units.Time or " +
+		"units.Flops; assign to _ to drop cost explicitly",
+	Run: runCycledrop,
+}
+
+func runCycledrop(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			verb := "discards"
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = s.X.(*ast.CallExpr)
+			case *ast.GoStmt:
+				call, verb = s.Call, "go-statement discards"
+			case *ast.DeferStmt:
+				call, verb = s.Call, "defer discards"
+			}
+			if call == nil {
+				return true
+			}
+			if _, conv := isConversion(p.Info, call); conv {
+				return true
+			}
+			if tn := costResult(p.TypeOf(call)); tn != nil {
+				p.Reportf(call.Pos(),
+					"%s a %s result — dropped simulated cost; assign to _ if intentional",
+					verb, unitName(tn))
+			}
+			return true
+		})
+	}
+}
+
+// costResult returns the first cost-carrying unit type (Time or
+// Flops) among t's components, or nil. Bandwidths and sizes are
+// reports about state, not accumulating costs, and may be dropped.
+func costResult(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	check := func(t types.Type) *types.Named {
+		if tn, ok := unitType(t); ok {
+			switch tn.Obj().Name() {
+			case "Time", "Flops":
+				return tn
+			}
+		}
+		return nil
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if tn := check(tuple.At(i).Type()); tn != nil {
+				return tn
+			}
+		}
+		return nil
+	}
+	return check(t)
+}

@@ -1,0 +1,248 @@
+// Package lint is the simulator's domain-specific static-analysis
+// suite. The paper's methodology stands on trustworthy numbers: the
+// units package makes a mixed-up unit a type error, DESIGN.md
+// promises a fully deterministic simulator, and every cycle a
+// component computes must land in an accumulator somewhere. Go's type
+// system cannot enforce the last mile of any of those — a
+// float64(t) cast launders a units.Time, a discarded return value
+// silently drops latency, and map iteration reorders figure output —
+// so simlint checks them mechanically.
+//
+// The suite is stdlib-only (go/ast, go/parser, go/types with the
+// source importer); cmd/simlint drives it over the module and
+// scripts/check.sh makes it part of tier-1.
+//
+// Diagnostics can be suppressed with a directive comment on the
+// offending line or the line directly above it:
+//
+//	//simlint:ignore <analyzer> <reason>
+//
+// The analyzer name may be "all". A directive without a reason is
+// itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned at file:line:col.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Col      int            `json:"col"`
+	Message  string         `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// All lists every analyzer in the suite, in reporting order.
+var All = []*Analyzer{Unitsafe, Cycledrop, Determinism}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Path  string // import path ("repro/internal/torus")
+	Pkg   *types.Package
+	Info  *types.Info
+
+	analyzer *Analyzer
+	sink     *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.sink = append(*p.sink, Diagnostic{
+		Analyzer: p.analyzer.Name,
+		Pos:      position,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf is a nil-safe shorthand for Info.TypeOf.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// Run applies the analyzers to every package and returns the
+// surviving diagnostics (ignore directives applied), sorted by
+// position then analyzer.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ig, bad := collectIgnores(pkg.Fset, pkg.Files)
+		diags = append(diags, bad...)
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Path:     pkg.Path,
+				Pkg:      pkg.Pkg,
+				Info:     pkg.Info,
+				analyzer: a,
+				sink:     &raw,
+			}
+			a.Run(pass)
+		}
+		for _, d := range raw {
+			if !ig.suppressed(d) {
+				diags = append(diags, d)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// ignoreSet maps file -> line -> analyzer names ("all" wildcards).
+type ignoreSet map[string]map[int]map[string]bool
+
+func (ig ignoreSet) suppressed(d Diagnostic) bool {
+	lines := ig[d.File]
+	if lines == nil {
+		return false
+	}
+	names := lines[d.Line]
+	return names != nil && (names[d.Analyzer] || names["all"])
+}
+
+const ignorePrefix = "//simlint:ignore"
+
+// collectIgnores scans comments for //simlint:ignore directives. A
+// directive suppresses matching diagnostics on its own line and on
+// the next line (so it can sit above the offending statement).
+// Malformed directives (no analyzer, unknown analyzer, or no reason)
+// are reported as diagnostics themselves.
+func collectIgnores(fset *token.FileSet, files []*ast.File) (ignoreSet, []Diagnostic) {
+	ig := ignoreSet{}
+	var bad []Diagnostic
+	report := func(pos token.Position, msg string) {
+		bad = append(bad, Diagnostic{
+			Analyzer: "simlint", Pos: pos,
+			File: pos.Filename, Line: pos.Line, Col: pos.Column, Message: msg,
+		})
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					report(pos, "simlint:ignore directive needs an analyzer name and a reason")
+					continue
+				}
+				name := fields[0]
+				if name != "all" && ByName(name) == nil {
+					report(pos, fmt.Sprintf("simlint:ignore names unknown analyzer %q", name))
+					continue
+				}
+				if len(fields) < 2 {
+					report(pos, fmt.Sprintf("simlint:ignore %s needs a reason", name))
+					continue
+				}
+				file := pos.Filename
+				if ig[file] == nil {
+					ig[file] = map[int]map[string]bool{}
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					if ig[file][line] == nil {
+						ig[file][line] = map[string]bool{}
+					}
+					ig[file][line][name] = true
+				}
+			}
+		}
+	}
+	return ig, bad
+}
+
+// ---- shared type helpers ----
+
+// unitsPathSuffix identifies the units package wherever the module
+// lives (fixtures import the real one).
+const unitsPathSuffix = "internal/units"
+
+func isUnitsPkg(p *types.Package) bool {
+	return p != nil && (p.Path() == unitsPathSuffix ||
+		strings.HasSuffix(p.Path(), "/"+unitsPathSuffix))
+}
+
+// unitType reports whether t is one of the unit-carrying named types
+// (Time, Bytes, BytesPerSec, Flops): defined in internal/units with a
+// numeric underlying type.
+func unitType(t types.Type) (*types.Named, bool) {
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj() == nil || !isUnitsPkg(n.Obj().Pkg()) {
+		return nil, false
+	}
+	b, ok := n.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsNumeric == 0 {
+		return nil, false
+	}
+	return n, true
+}
+
+// unitName renders a unit type as "units.Time".
+func unitName(n *types.Named) string { return "units." + n.Obj().Name() }
+
+// basicNumeric reports whether t is a plain (non-unit) numeric type
+// such as float64 or int64.
+func basicNumeric(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsNumeric != 0
+}
+
+// isConversion reports whether call is a type conversion and returns
+// the target type.
+func isConversion(info *types.Info, call *ast.CallExpr) (types.Type, bool) {
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return nil, false
+	}
+	return tv.Type, true
+}

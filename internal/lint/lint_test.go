@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// Fixtures under testdata/src each hold one package: *_bad packages
+// mark every expected finding with a `// want:<analyzer> <substring>`
+// comment on the offending line; *_ok packages must come out clean.
+
+var wantRe = regexp.MustCompile(`// want:(\w+) (.+)$`)
+
+type expectation struct {
+	file     string // base name
+	line     int
+	analyzer string
+	substr   string
+	matched  bool
+}
+
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	pkg, err := NewLoader().LoadDir(dir, "repro/internal/lint/testdata/src/"+name)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	if pkg == nil {
+		t.Fatalf("fixture %s has no Go files", name)
+	}
+	return pkg
+}
+
+func collectWants(t *testing.T, dir string) []*expectation {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*expectation
+	for _, e := range ents {
+		if !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			if m := wantRe.FindStringSubmatch(sc.Text()); m != nil {
+				wants = append(wants, &expectation{
+					file: e.Name(), line: line, analyzer: m[1], substr: m[2],
+				})
+			}
+		}
+		f.Close()
+	}
+	return wants
+}
+
+// testFixture runs the analyzers over one fixture package and matches
+// diagnostics 1:1 against its want-markers (none, for *_ok packages).
+func testFixture(t *testing.T, name string, analyzers ...*Analyzer) {
+	t.Helper()
+	pkg := loadFixture(t, name)
+	diags := Run([]*Package{pkg}, analyzers)
+	wants := collectWants(t, pkg.Dir)
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if filepath.Base(d.File) == w.file && d.Line == w.line &&
+				d.Analyzer == w.analyzer && strings.Contains(d.Message, w.substr) {
+				w.matched = true
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("missing diagnostic at %s:%d [%s] containing %q",
+				w.file, w.line, w.analyzer, w.substr)
+		}
+	}
+}
+
+func TestUnitsafeCatchesViolations(t *testing.T) { testFixture(t, "unitsafe_bad", Unitsafe) }
+func TestUnitsafeCleanPass(t *testing.T)         { testFixture(t, "unitsafe_ok", Unitsafe) }
+func TestCycledropCatchesViolations(t *testing.T) {
+	testFixture(t, "cycledrop_bad", Cycledrop)
+}
+func TestCycledropCleanPass(t *testing.T) { testFixture(t, "cycledrop_ok", Cycledrop) }
+func TestDeterminismCatchesViolations(t *testing.T) {
+	testFixture(t, "determinism_bad", Determinism)
+}
+func TestDeterminismCleanPass(t *testing.T) { testFixture(t, "determinism_ok", Determinism) }
+
+// TestIgnoreDirectiveSuppresses proves the determinism_ok fixture's
+// sorted-keys loop only passes because of its directive.
+func TestIgnoreDirectiveSuppresses(t *testing.T) {
+	pkg := loadFixture(t, "determinism_ok")
+	diags := Run([]*Package{pkg}, []*Analyzer{Determinism})
+	if len(diags) != 0 {
+		t.Fatalf("directive did not suppress: %v", diags)
+	}
+	// Strip the directive comments and the finding must come back.
+	found := false
+	for _, f := range pkg.Files {
+		cgs := f.Comments[:0]
+		for _, cg := range f.Comments {
+			var list = cg.List[:0]
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					list = append(list, c)
+				} else {
+					found = true
+				}
+			}
+			cg.List = list
+			if len(list) > 0 {
+				cgs = append(cgs, cg)
+			}
+		}
+		f.Comments = cgs
+	}
+	if !found {
+		t.Fatal("fixture lost its ignore directive")
+	}
+	diags = Run([]*Package{pkg}, []*Analyzer{Determinism})
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "appends to a slice") {
+		t.Fatalf("want exactly the suppressed finding back, got %v", diags)
+	}
+}
+
+// TestMalformedIgnoreDirectives: the driver reports directives that
+// name no analyzer, an unknown analyzer, or give no reason.
+func TestMalformedIgnoreDirectives(t *testing.T) {
+	pkg := loadFixture(t, "ignore_bad")
+	diags := Run([]*Package{pkg}, []*Analyzer{Unitsafe})
+	wantSubstrs := []string{
+		"needs an analyzer name",
+		"unknown analyzer",
+		"needs a reason",
+	}
+	if len(diags) != len(wantSubstrs) {
+		t.Fatalf("want %d directive diagnostics, got %v", len(wantSubstrs), diags)
+	}
+	for i, want := range wantSubstrs {
+		if diags[i].Analyzer != "simlint" || !strings.Contains(diags[i].Message, want) {
+			t.Errorf("diag %d = %s, want substring %q", i, diags[i], want)
+		}
+	}
+}
+
+func TestExpandResolvesImportPaths(t *testing.T) {
+	refs, err := Expand([]string{"repro/internal/units"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 1 || refs[0].Path != "repro/internal/units" {
+		t.Fatalf("Expand = %v", refs)
+	}
+	if _, err := os.Stat(refs[0].Dir); err != nil {
+		t.Fatalf("resolved dir does not exist: %v", err)
+	}
+}
+
+// TestRepoIsLintClean keeps the whole module simlint-clean from
+// inside tier-1: the same invariant scripts/check.sh enforces.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	pkgs, err := NewLoader().Load([]string{"repro/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("expected the whole module, loaded %d packages", len(pkgs))
+	}
+	for _, d := range Run(pkgs, All) {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages from source. It is
+// stdlib-only: imports resolve through go/importer's source-mode
+// importer (which understands the enclosing module), so no
+// third-party loader is needed. One Loader shares a FileSet and an
+// import cache across every package of a run.
+type Loader struct {
+	Fset *token.FileSet
+	imp  types.Importer
+}
+
+// NewLoader returns a Loader with a fresh FileSet.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{Fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+}
+
+// LoadDir parses every non-test .go file in dir and type-checks the
+// package under the given import path. Test files are excluded: they
+// type-check against test-only dependencies and are free to trade
+// determinism for convenience (seeded rand, t.TempDir, ...).
+func (l *Loader) LoadDir(dir, path string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, nil // test-only package (e.g. the module root)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	var typeErrs []string
+	conf := types.Config{
+		Importer: l.imp,
+		Error: func(err error) {
+			typeErrs = append(typeErrs, err.Error())
+		},
+	}
+	pkg, _ := conf.Check(path, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("type-checking %s:\n\t%s", path, strings.Join(typeErrs, "\n\t"))
+	}
+	return &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// PackageRef names one package to load.
+type PackageRef struct {
+	Path string
+	Dir  string
+}
+
+// Expand resolves go-style package patterns ("./...", "repro/internal/units")
+// to import-path/directory pairs by asking the go tool, which is the
+// authority on module layout. Patterns that are existing directories
+// are taken as-is, so fixtures under testdata/ (invisible to the go
+// tool) can be addressed directly.
+func Expand(patterns []string) ([]PackageRef, error) {
+	var refs []PackageRef
+	var listArgs []string
+	for _, p := range patterns {
+		if st, err := os.Stat(p); err == nil && st.IsDir() && !strings.Contains(p, "...") {
+			abs, err := filepath.Abs(p)
+			if err != nil {
+				return nil, err
+			}
+			refs = append(refs, PackageRef{Path: p, Dir: abs})
+			continue
+		}
+		listArgs = append(listArgs, p)
+	}
+	if len(listArgs) == 0 {
+		return refs, nil
+	}
+	args := append([]string{"list", "-f", "{{.ImportPath}}\t{{.Dir}}"}, listArgs...)
+	cmd := exec.Command("go", args...)
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(listArgs, " "), err, errb.String())
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		path, dir, ok := strings.Cut(line, "\t")
+		if !ok {
+			return nil, fmt.Errorf("go list: unexpected output %q", line)
+		}
+		refs = append(refs, PackageRef{Path: path, Dir: dir})
+	}
+	return refs, nil
+}
+
+// Load expands patterns and loads every resulting package.
+func (l *Loader) Load(patterns []string) ([]*Package, error) {
+	refs, err := Expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, ref := range refs {
+		pkg, err := l.LoadDir(ref.Dir, ref.Path)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}

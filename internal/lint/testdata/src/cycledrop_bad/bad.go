@@ -1,0 +1,16 @@
+// Package cycledrop_bad drops simulated cost on the floor in every
+// way cycledrop knows about.
+package cycledrop_bad
+
+import "repro/internal/units"
+
+func latency() units.Time { return 5 * units.Nanosecond }
+
+func work() (units.Bytes, units.Time) { return units.Word, units.Nanosecond }
+
+func drop() {
+	latency()       // want:cycledrop discards a units.Time result
+	work()          // want:cycledrop discards a units.Time result
+	go latency()    // want:cycledrop go-statement discards
+	defer latency() // want:cycledrop defer discards
+}

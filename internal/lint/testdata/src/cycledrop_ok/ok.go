@@ -1,0 +1,16 @@
+// Package cycledrop_ok consumes or explicitly discards every costly
+// result; lint_test.go asserts it is clean.
+package cycledrop_ok
+
+import "repro/internal/units"
+
+func latency() units.Time { return 5 * units.Nanosecond }
+
+func bandwidth() units.BytesPerSec { return units.MBps(100) }
+
+func use() units.Time {
+	t := latency()
+	_ = latency() // an explicit drop is a visible decision
+	bandwidth()   // bandwidths report state; dropping one loses no cost
+	return t
+}

@@ -1,0 +1,33 @@
+// Package determinism_bad produces run-to-run varying results in
+// every way the determinism analyzer knows about.
+package determinism_bad
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+)
+
+func mapOrder(m map[string]float64) ([]string, float64) {
+	var keys []string
+	var sum float64
+	for k := range m { // want:determinism appends to a slice
+		keys = append(keys, k)
+	}
+	for _, v := range m { // want:determinism accumulates floating-point
+		sum += v
+	}
+	for k := range m { // want:determinism writes output
+		fmt.Fprintln(os.Stderr, k)
+	}
+	return keys, sum
+}
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want:determinism wall clock
+}
+
+func dice() int {
+	return rand.Intn(6) // want:determinism global source
+}

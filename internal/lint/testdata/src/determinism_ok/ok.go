@@ -1,0 +1,39 @@
+// Package determinism_ok iterates maps only in order-insensitive
+// ways, uses seeded randomness, and demonstrates the ignore
+// directive; lint_test.go asserts it is clean.
+package determinism_ok
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Integer counting and writes into another map do not depend on
+// iteration order.
+func okLoop(m map[string]int) (int, map[string]bool) {
+	n := 0
+	seen := make(map[string]bool)
+	for k, v := range m {
+		n += v
+		seen[k] = true
+	}
+	return n, seen
+}
+
+// Collect-then-sort is the sanctioned pattern; the directive records
+// why the append in the loop body is safe here.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	//simlint:ignore determinism keys are sorted immediately below
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// A seeded source is reproducible; methods on it are fine.
+func draw() int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(6)
+}

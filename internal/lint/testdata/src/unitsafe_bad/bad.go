@@ -1,0 +1,24 @@
+// Package unitsafe_bad holds one specimen of every unitsafe
+// violation; lint_test.go asserts each marked line is flagged.
+package unitsafe_bad
+
+import "repro/internal/units"
+
+// launder strips the Time through float64 and feeds the raw number
+// straight back into a Time: the unit type no longer proves anything.
+func launder(t units.Time) units.Time {
+	return units.Time(float64(t) * 1.5) // want:unitsafe laundered through float64
+}
+
+// crossUnit converts bytes directly into nanoseconds.
+func crossUnit(b units.Bytes) units.Time {
+	return units.Time(b) // want:unitsafe cross-unit conversion
+}
+
+func takesTime(t units.Time) units.Time { return t }
+
+// bareLiteral passes a naked number where a Time is expected: nothing
+// says whether 100 is nanoseconds or cycles.
+func bareLiteral() units.Time {
+	return takesTime(100) // want:unitsafe bare numeric literal
+}

@@ -1,0 +1,28 @@
+// Package unitsafe_ok shows the sanctioned spellings of everything
+// unitsafe_bad does wrong; lint_test.go asserts it is clean.
+package unitsafe_ok
+
+import "repro/internal/units"
+
+// helpers keep arithmetic inside the unit system.
+func scaled(t units.Time, b units.Bytes) units.Time {
+	perByte := t.PerByte(b)
+	return perByte.ByteCost(b).Scale(1.5)
+}
+
+// Stripping a unit for display or interpolation (without feeding it
+// back) is fine.
+func display(t units.Time) float64 { return float64(t) }
+
+// Conversions from plain numerics into a unit type are fine: that is
+// how quantities are born.
+func born(ns float64) units.Time { return units.Time(ns) }
+
+func takesTime(t units.Time) units.Time { return t }
+
+// The zero value carries no scale, and spelled-out units are typed.
+func zeros() units.Time {
+	total := takesTime(0)
+	total += takesTime(4 * units.Microsecond)
+	return total
+}

@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// Unitsafe enforces that unit-typed quantities (units.Time,
+// units.Bytes, units.BytesPerSec, units.Flops) are never laundered
+// through plain numeric types on their way back into unit-typed
+// arithmetic, never converted directly between distinct unit types,
+// and never conjured from bare numeric literals at call sites.
+// Composite literals are exempt: the machine calibration tables
+// (internal/machine) are columns of plain numbers whose unit is fixed
+// by the field's declaration, which is the point of the field types.
+// Inside internal/units itself raw conversions are the implementation
+// and are exempt.
+var Unitsafe = &Analyzer{
+	Name: "unitsafe",
+	Doc: "flag unit-type laundering casts, cross-unit conversions, " +
+		"and untyped literals passed as unit-typed arguments",
+	Run: runUnitsafe,
+}
+
+func runUnitsafe(p *Pass) {
+	if isUnitsPkg(p.Pkg) {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if target, ok := isConversion(p.Info, call); ok {
+				checkUnitConversion(p, call, target)
+			} else {
+				checkLiteralArgs(p, call)
+			}
+			return true
+		})
+	}
+}
+
+// checkUnitConversion flags T(x) where T is a unit type and x either
+// is a different unit type (cross-unit conversion: units.Time(bytes))
+// or contains a cast that strips a unit type to a plain numeric
+// (laundering: units.Time(float64(t) * k)).
+func checkUnitConversion(p *Pass, call *ast.CallExpr, target types.Type) {
+	tn, ok := unitType(target)
+	if !ok {
+		return
+	}
+	arg := call.Args[0]
+	if an, ok := unitType(p.TypeOf(arg)); ok && an.Obj() != tn.Obj() {
+		p.Reportf(call.Pos(),
+			"cross-unit conversion %s(%s) mixes dimensions; use a units helper (Time.ByteCost, Time.PerByte, units.BW, ...)",
+			unitName(tn), unitName(an))
+		return
+	}
+	ast.Inspect(arg, func(n ast.Node) bool {
+		inner, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		it, ok := isConversion(p.Info, inner)
+		if !ok || !basicNumeric(it) {
+			return true
+		}
+		if sn, ok := unitType(p.TypeOf(inner.Args[0])); ok {
+			p.Reportf(inner.Pos(),
+				"%s value laundered through %s re-enters %s; use a units helper (Time.Scale, ...) or keep the unit type",
+				unitName(sn), it.(*types.Basic).Name(), unitName(tn))
+			return false
+		}
+		return true
+	})
+}
+
+// checkLiteralArgs flags bare numeric literals (other than 0) passed
+// where a unit-typed parameter is expected: f(100) says nothing about
+// what 100 measures — write 100*units.Nanosecond or units.Bytes(100).
+func checkLiteralArgs(p *Pass, call *ast.CallExpr) {
+	sig, ok := p.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < params.Len()-1 || (i < params.Len() && !sig.Variadic()):
+			pt = params.At(i).Type()
+		case sig.Variadic() && params.Len() > 0:
+			if s, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		}
+		if pt == nil {
+			continue
+		}
+		if tn, ok := unitType(pt); ok {
+			reportBareLiteral(p, arg, tn)
+		}
+	}
+}
+
+func reportBareLiteral(p *Pass, arg ast.Expr, tn *types.Named) {
+	if !pureLiteral(arg) {
+		return
+	}
+	if tv, ok := p.Info.Types[arg]; ok && tv.Value != nil {
+		if v, ok := constant.Float64Val(constant.ToFloat(tv.Value)); ok && v == 0 {
+			return // the zero value carries no scale and is always safe
+		}
+	}
+	p.Reportf(arg.Pos(),
+		"bare numeric literal used as %s; spell the unit (e.g. 4*units.KB, 10*units.Nanosecond)",
+		unitName(tn))
+}
+
+// pureLiteral reports whether e is built only from numeric literals
+// and arithmetic — i.e. it mentions no named constant that could
+// carry a unit.
+func pureLiteral(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		return e.Kind == token.INT || e.Kind == token.FLOAT
+	case *ast.ParenExpr:
+		return pureLiteral(e.X)
+	case *ast.UnaryExpr:
+		return pureLiteral(e.X)
+	case *ast.BinaryExpr:
+		return pureLiteral(e.X) && pureLiteral(e.Y)
+	}
+	return false
+}

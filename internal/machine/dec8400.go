@@ -48,9 +48,9 @@ func NewDEC8400(n int) *SMP {
 			WriteWordOcc:   30,
 			// Bank occupancy sized so that four interleaved strided
 			// miss streams saturate gently (§5.1's ~25%).
-			BankOcc:      60,
-			RowPenalty:   20,
-			Stream:       stream.Config{Enabled: true, Streams: 8, Threshold: 2, LineBytes: 64},
+			BankOcc:    60,
+			RowPenalty: 20,
+			Stream:     stream.Config{Enabled: true, Streams: 8, Threshold: 2, LineBytes: 64},
 		},
 	})
 

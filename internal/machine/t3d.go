@@ -52,7 +52,7 @@ func NewT3D(n int) *MPP {
 		ResponseBytes: 16,
 		IssueSlot:     cpu.EV4().LoadSlot(),
 	}
-	m.wireRemote(16, 16)
+	m.wireRemote(2*units.Word, 2*units.Word)
 	return m
 }
 

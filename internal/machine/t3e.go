@@ -49,7 +49,7 @@ func NewT3E(n int) *MPP {
 		BlockBytes: 64,
 		IssueSlot:  cpu.EV5().Clock.Cycles(2),
 	}
-	m.wireRemote(16, 16)
+	m.wireRemote(2*units.Word, 2*units.Word)
 	return m
 }
 
@@ -66,7 +66,7 @@ func NewT3ENoStreams(n int) *MPP {
 		m.nodes[i] = node.New(i, cfg)
 	}
 	m.router.Nodes = m.nodes
-	m.wireRemote(16, 16)
+	m.wireRemote(2*units.Word, 2*units.Word)
 	return m
 }
 

@@ -40,10 +40,10 @@ func (n *Node) EngineRead(a access.Addr, nb units.Bytes, now units.Time) units.T
 	if n.engReadOK && a == n.engRead {
 		occ = d.SeqOcc
 		if nb < d.LineBytes {
-			occ = d.SeqOcc * units.Time(nb) / units.Time(d.LineBytes)
+			occ = d.SeqOcc.ByteCost(nb).PerByte(d.LineBytes)
 		}
 	} else if d.EngineWordOcc > 0 {
-		occ = d.EngineWordOcc * units.Time((nb+units.Word-1)/units.Word)
+		occ = d.EngineWordOcc * units.Time(nb.CeilWords())
 	} else {
 		occ = d.WordOcc
 	}

@@ -90,7 +90,9 @@ func (n *Node) storeSlackStall(now, ready units.Time) units.Time {
 func (n *Node) writeVictim(k int, lineAddr access.Addr, now units.Time) {
 	if k+1 < len(n.caches) {
 		spec := n.cfg.Levels[k+1]
-		n.fills[k+1].Acquire(now, spec.WriteOcc)
+		// The victim write occupies the fill path but nothing waits
+		// on it; the start time is deliberately dropped.
+		_ = n.fills[k+1].Acquire(now, spec.WriteOcc)
 		if !n.caches[k+1].SetDirty(lineAddr) {
 			// Not resident below (exclusion): the victim continues
 			// toward memory.
@@ -98,8 +100,10 @@ func (n *Node) writeVictim(k int, lineAddr access.Addr, now units.Time) {
 		}
 		return
 	}
-	// Victim leaves the deepest cache: write to memory.
-	n.memWrite(lineAddr, units.Bytes(n.cfg.Levels[k].Cache.LineSize), now)
+	// Victim leaves the deepest cache: write to memory. The write
+	// drains in the background; its completion time is deliberately
+	// dropped (the occupancy has been charged to the port and DRAM).
+	_ = n.memWrite(lineAddr, units.Bytes(n.cfg.Levels[k].Cache.LineSize), now)
 }
 
 // dramWriteTarget is the drain target of the write buffer: entries
@@ -117,10 +121,10 @@ func (n *Node) memWrite(a access.Addr, nb units.Bytes, now units.Time) units.Tim
 	if n.backend != nil {
 		// Outgoing writes cross the node's board interface too.
 		d := &n.cfg.DRAM
-		perByte := d.WriteSeqOcc / units.Time(d.LineBytes)
+		perByte := d.WriteSeqOcc.PerByte(d.LineBytes)
 		occ := d.WriteWordOcc
 		if n.engWriteOK && a == n.engWrite {
-			occ = perByte * units.Time(nb)
+			occ = perByte.ByteCost(nb)
 		}
 		n.engWrite = a + access.Addr(nb)
 		n.engWriteOK = true
@@ -146,11 +150,11 @@ func (n *Node) memWrite(a access.Addr, nb units.Bytes, now units.Time) units.Tim
 // charged separately.
 func (n *Node) dramWrite(a access.Addr, nb units.Bytes, now units.Time) units.Time {
 	d := &n.cfg.DRAM
-	perByte := d.WriteSeqOcc / units.Time(d.LineBytes)
+	perByte := d.WriteSeqOcc.PerByte(d.LineBytes)
 	var occ units.Time
 	sequential := n.engWriteOK && a == n.engWrite
 	if sequential {
-		occ = perByte * units.Time(nb)
+		occ = perByte.ByteCost(nb)
 	} else {
 		occ = d.WriteWordOcc
 	}

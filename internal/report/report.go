@@ -6,6 +6,7 @@ package report
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/access"
@@ -58,6 +59,20 @@ func Machines() map[string]machine.Machine {
 		"t3d":  machine.NewT3D(4),
 		"t3e":  machine.NewT3E(4),
 	}
+}
+
+// Names returns the machine keys in sorted order. Every loop over
+// Machines() must iterate these, never the map itself, so figures,
+// CSV artifacts, and progress logs come out byte-for-byte identical
+// run to run (simlint's determinism analyzer enforces the map side).
+func Names(ms map[string]machine.Machine) []string {
+	names := make([]string, 0, len(ms))
+	//simlint:ignore determinism keys are sorted immediately below
+	for k := range ms {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // loadPoint measures one LoadSum plateau point.
@@ -138,7 +153,7 @@ func HeadlineFFT(ms map[string]machine.Machine, cs map[string]*core.Characteriza
 	var rows []Row
 	targets := map[string]float64{"t3d": 133, "8400": 220, "t3e": 330}
 	names := map[string]string{"t3d": "T3D", "8400": "8400", "t3e": "T3E"}
-	for _, k := range []string{"t3d", "8400", "t3e"} {
+	for _, k := range Names(ms) {
 		r, err := fft.Run2D(ms[k], 256, fft.Options{Char: cs[k]})
 		if err != nil {
 			return nil, err
@@ -151,7 +166,7 @@ func HeadlineFFT(ms map[string]machine.Machine, cs map[string]*core.Characteriza
 // Figures15to17 sweeps the FFT study over the paper's problem sizes
 // and renders the three figures as text tables.
 func Figures15to17(ms map[string]machine.Machine, cs map[string]*core.Characterization, sizes []int) (string, error) {
-	keys := []string{"t3d", "8400", "t3e"}
+	keys := Names(ms)
 	var b strings.Builder
 	results := map[string][]fft.Result{}
 	for _, k := range keys {

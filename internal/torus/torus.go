@@ -147,13 +147,13 @@ func (net *Network) Send(src, dst int, n units.Bytes, now units.Time) units.Time
 	net.MessagesSent++
 	net.BytesSent += n
 
-	occ := net.cfg.NIOverhead + units.Time(n)*net.cfg.NIPerByte
+	occ := net.cfg.NIOverhead + net.cfg.NIPerByte.ByteCost(n)
 	start := net.nis[net.ni(src)].Acquire(now, occ)
 	t := start + occ
 	if src == dst {
 		return t
 	}
-	xfer := units.Time(n) * net.cfg.LinkPerByte
+	xfer := net.cfg.LinkPerByte.ByteCost(n)
 	for _, hop := range net.hopPlan(src, dst) {
 		res := &net.links[hop[0]][hop[1]][hop[2]]
 		s := res.Acquire(t, xfer)
@@ -162,7 +162,7 @@ func (net *Network) Send(src, dst int, n units.Bytes, now units.Time) units.Time
 	t += xfer
 	rocc := occ
 	if net.cfg.RecvFactor > 0 {
-		rocc = units.Time(float64(occ) * net.cfg.RecvFactor)
+		rocc = occ.Scale(net.cfg.RecvFactor)
 	}
 	recv := net.nis[net.ni(dst)].Acquire(t, rocc)
 	return recv + rocc

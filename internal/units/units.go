@@ -36,6 +36,11 @@ func (t Time) String() string {
 	}
 }
 
+// Scale stretches a duration by a dimensionless factor (receive-side
+// occupancy factors, contention multipliers). It exists so callers
+// never need to launder a Time through float64.
+func (t Time) Scale(f float64) Time { return Time(float64(t) * f) }
+
 // Bytes is a data size in bytes.
 type Bytes int64
 
@@ -53,6 +58,19 @@ const (
 
 // Words returns the number of 64-bit words in the size.
 func (b Bytes) Words() int64 { return int64(b) / int64(Word) }
+
+// CeilWords returns the number of 64-bit words needed to hold the
+// size, rounding partial words up.
+func (b Bytes) CeilWords() int64 { return int64((b + Word - 1) / Word) }
+
+// ByteCost returns the cost of processing n bytes at a per-byte cost
+// of t. It is the unit-safe spelling of per-byte occupancy math:
+// time/byte x bytes = time.
+func (t Time) ByteCost(n Bytes) Time { return t * Time(n) }
+
+// PerByte spreads a total cost t over n bytes, returning the cost per
+// byte: time / bytes = time/byte. n must be positive.
+func (t Time) PerByte(n Bytes) Time { return t / Time(n) }
 
 // String renders a size the way the paper's axes label working sets
 // (".5k", "4k", "1M", ...).

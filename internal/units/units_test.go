@@ -44,6 +44,103 @@ func TestBytesString(t *testing.T) {
 	}
 }
 
+func TestTimeStringEdges(t *testing.T) {
+	// Zero and negative spans fall through every adaptive-unit case
+	// and render as raw nanoseconds; they must not panic or pick a
+	// nonsensical unit.
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{0, "0.00ns"},
+		{-5, "-5.00ns"},
+		{-3 * Second, "-3000000000.00ns"},
+		{0.25, "0.25ns"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Time(%v).String() = %q, want %q", float64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestBytesStringEdges(t *testing.T) {
+	cases := []struct {
+		in   Bytes
+		want string
+	}{
+		{0, "0B"},
+		{-1, "-1B"},
+		{-2 * KB, "-2048B"}, // negative sizes never claim a power-of-two suffix
+		{KB + 1, "1025B"},   // non-aligned sizes render exact
+		{3 * KB / 2, "1536B"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Bytes(%d).String() = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestWordsNonAligned(t *testing.T) {
+	cases := []struct {
+		in         Bytes
+		want, ceil int64
+	}{
+		{0, 0, 0},
+		{1, 0, 1},
+		{7, 0, 1},
+		{8, 1, 1},
+		{9, 1, 2},
+		{15, 1, 2},
+		{17, 2, 3},
+	}
+	for _, c := range cases {
+		if got := c.in.Words(); got != c.want {
+			t.Errorf("Bytes(%d).Words() = %d, want %d", c.in, got, c.want)
+		}
+		if got := c.in.CeilWords(); got != c.ceil {
+			t.Errorf("Bytes(%d).CeilWords() = %d, want %d", c.in, got, c.ceil)
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	if got := (10 * Nanosecond).Scale(2.5); got != 25 {
+		t.Errorf("10ns.Scale(2.5) = %v, want 25ns", got)
+	}
+	if got := Microsecond.Scale(0); got != 0 {
+		t.Errorf("Scale(0) = %v, want 0", got)
+	}
+}
+
+func TestByteCostPerByteRoundTrip(t *testing.T) {
+	f := func(ns uint16, nb uint16) bool {
+		total := Time(ns) + 1
+		n := Bytes(nb) + 1
+		back := total.PerByte(n).ByteCost(n)
+		return math.Abs(float64(back-total)/float64(total)) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// 64 bytes at 0.5 ns/byte occupy 32 ns.
+	perByte := Time(0.5)
+	if got := perByte.ByteCost(64); got != 32 {
+		t.Errorf("ByteCost = %v, want 32ns", got)
+	}
+}
+
+func TestSecondsRoundTrip(t *testing.T) {
+	f := func(ms uint16) bool {
+		d := (Time(ms) + 1) * Millisecond
+		return math.Abs(d.Seconds()*1e9-float64(d))/float64(d) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestWords(t *testing.T) {
 	if got := (64 * KB).Words(); got != 8192 {
 		t.Errorf("64KB.Words() = %d, want 8192", got)

@@ -1,0 +1,37 @@
+#!/bin/sh
+# scripts/check.sh — the pre-commit gate (tier-1 plus static analysis).
+#
+# Runs, in order, failing fast:
+#   1. go build ./...     — everything compiles
+#   2. gofmt -l           — formatting is a hard failure
+#   3. go vet ./...       — the stock analyzers
+#   4. simlint ./...      — the domain analyzers (unit safety,
+#                           cycle accounting, determinism)
+#   5. go test -race ./...— the full suite under the race detector
+#
+# Run it from the repository root: ./scripts/check.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go build =="
+go build ./...
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== simlint =="
+go run ./cmd/simlint ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "check: all green"
