@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the pre-commit gate.
 
-.PHONY: build test check lint fmt figures
+.PHONY: build test check lint fmt figures bench
 
 build:
 	go build ./...
@@ -23,3 +23,8 @@ fmt:
 # figures regenerates the paper's tables/figures into out/.
 figures:
 	go run ./cmd/figures -all -out out
+
+# bench times the full sweep at -j 1 vs -j <cpus>, checks the outputs
+# are byte-identical, and records the result in BENCH_sweeps.json.
+bench:
+	./scripts/bench.sh

@@ -11,6 +11,7 @@
 package repro_test
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 
@@ -20,6 +21,7 @@ import (
 	"repro/internal/fft"
 	"repro/internal/machine"
 	"repro/internal/surface"
+	"repro/internal/sweep"
 	"repro/internal/units"
 )
 
@@ -39,8 +41,8 @@ func reportSurface(b *testing.B, s *surface.Surface) {
 
 func benchLoadSurface(b *testing.B, mk func() machine.Machine) {
 	for i := 0; i < b.N; i++ {
-		m := mk()
-		s := bench.LoadSurface(m, 0, benchStrides, benchWS)
+		p := sweep.NewPool(mk, runtime.GOMAXPROCS(0))
+		s := bench.LoadSurface(p, 0, benchStrides, benchWS)
 		if i == b.N-1 {
 			reportSurface(b, s)
 		}
@@ -49,8 +51,8 @@ func benchLoadSurface(b *testing.B, mk func() machine.Machine) {
 
 func benchTransferSurface(b *testing.B, mk func() machine.Machine, mode machine.Mode) {
 	for i := 0; i < b.N; i++ {
-		m := mk()
-		s, err := bench.TransferSurface(m, 0, machine.PreferredPartner(m), mode, benchStrides, benchWS)
+		p := sweep.NewPool(mk, runtime.GOMAXPROCS(0))
+		s, err := bench.TransferSurface(p, 0, machine.PreferredPartner(p.Machine()), mode, benchStrides, benchWS)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -102,9 +104,9 @@ func BenchmarkFig08T3EDeposit(b *testing.B) {
 
 func benchCopyCurves(b *testing.B, mk func() machine.Machine) {
 	for i := 0; i < b.N; i++ {
-		m := mk()
-		sl := bench.CopyCurve(m, 0, 8*units.MB, benchStrides, true)
-		ss := bench.CopyCurve(m, 0, 8*units.MB, benchStrides, false)
+		p := sweep.NewPool(mk, runtime.GOMAXPROCS(0))
+		sl := bench.CopyCurve(p, 0, 8*units.MB, benchStrides, true)
+		ss := bench.CopyCurve(p, 0, 8*units.MB, benchStrides, false)
 		if i == b.N-1 {
 			b.ReportMetric(sl.At(1).MBps(), "contig-MB/s")
 			b.ReportMetric(sl.At(16).MBps(), "strided-loads-MB/s")
@@ -130,9 +132,9 @@ func BenchmarkFig11T3ELocalCopy(b *testing.B) {
 
 func benchRemoteCopy(b *testing.B, mk func() machine.Machine, mode machine.Mode) {
 	for i := 0; i < b.N; i++ {
-		m := mk()
+		p := sweep.NewPool(mk, runtime.GOMAXPROCS(0))
 		stridedLoads := mode == machine.Fetch
-		c, err := bench.TransferCurve(m, 0, machine.PreferredPartner(m), 8*units.MB,
+		c, err := bench.TransferCurve(p, 0, machine.PreferredPartner(p.Machine()), 8*units.MB,
 			benchStrides, mode, stridedLoads, false)
 		if err != nil {
 			b.Fatal(err)
@@ -169,14 +171,17 @@ var (
 func fftSetup(b *testing.B) {
 	b.Helper()
 	fftOnce.Do(func() {
-		fftMachs = map[string]machine.Machine{
-			"t3d":  machine.NewT3D(4),
-			"8400": machine.NewDEC8400(4),
-			"t3e":  machine.NewT3E(4),
+		factories := map[string]func() machine.Machine{
+			"t3d":  func() machine.Machine { return machine.NewT3D(4) },
+			"8400": func() machine.Machine { return machine.NewDEC8400(4) },
+			"t3e":  func() machine.Machine { return machine.NewT3E(4) },
 		}
+		fftMachs = map[string]machine.Machine{}
 		fftChars = map[string]*core.Characterization{}
-		for k, m := range fftMachs {
-			fftChars[k] = core.Measure(m, core.DefaultMeasure())
+		for k, mk := range factories {
+			p := sweep.NewPool(mk, runtime.GOMAXPROCS(0))
+			fftChars[k] = core.Measure(p, core.DefaultMeasure())
+			fftMachs[k] = p.Machine()
 		}
 	})
 }

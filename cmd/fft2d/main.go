@@ -14,6 +14,7 @@ import (
 	"math"
 	"math/cmplx"
 	"os"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/fft"
@@ -25,6 +26,7 @@ func main() {
 	one := flag.Int("n", 0, "run a single problem size instead of the sweep")
 	planner := flag.Bool("planner", false, "let the Fx planner choose the transpose primitive")
 	verify := flag.Bool("verify", false, "numerically verify the 2D FFT at -n")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "sweep workers for the characterization (1 = sequential)")
 	flag.Parse()
 
 	if *verify {
@@ -36,10 +38,11 @@ func main() {
 	}
 
 	ms := report.Machines()
+	ps := report.Pools(*jobs)
 	cs := map[string]*core.Characterization{}
 	for _, k := range report.Names(ms) {
 		fmt.Fprintf(os.Stderr, "characterizing %s...\n", ms[k].Name())
-		cs[k] = core.Measure(ms[k], core.DefaultMeasure())
+		cs[k] = core.Measure(ps[k], core.DefaultMeasure())
 	}
 
 	sizes := []int{32, 64, 128, 256, 512, 1024}

@@ -6,6 +6,10 @@
 //	figures                 # headline tables A-C on stdout
 //	figures -all -out out   # figures 1-17 into out/ plus tables
 //	figures -fig 6          # one load surface (ASCII) on stdout
+//	figures -all -j 8       # fan sweep grid points over 8 workers
+//
+// Sweep artifacts are byte-identical for every -j value: grid points
+// are independent simulations and results land by point index.
 package main
 
 import (
@@ -13,11 +17,14 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/report"
 	"repro/internal/surface"
+	"repro/internal/sweep"
 	"repro/internal/units"
 )
 
@@ -25,22 +32,50 @@ func main() {
 	all := flag.Bool("all", false, "regenerate every figure into -out")
 	fig := flag.Int("fig", 0, "print one figure (1-17) to stdout")
 	out := flag.String("out", "out", "output directory for -all")
-	maxWS := flag.Int64("maxws", int64(8*units.MB), "largest working set for surfaces")
+	maxWS := flag.String("maxws", "8M", "largest working set for surfaces (bytes, or sizes like 512K, 8M)")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "sweep workers (1 = sequential)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
 
+	ws, err := units.ParseBytes(*maxWS)
+	if err != nil {
+		fatal(err)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	ms := report.Machines()
+	ps := report.Pools(*jobs)
 
 	switch {
 	case *fig != 0:
-		if err := printFigure(ms, *fig, units.Bytes(*maxWS)); err != nil {
-			fatal(err)
-		}
+		err = printFigure(ms, ps, *fig, ws)
 	case *all:
-		if err := writeAll(ms, *out, units.Bytes(*maxWS)); err != nil {
+		err = writeAll(ms, ps, *out, ws)
+	default:
+		err = tables(ms, characterize(ps))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
 			fatal(err)
 		}
-	default:
-		if err := tables(ms); err != nil {
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
 			fatal(err)
 		}
 	}
@@ -51,13 +86,23 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func tables(ms map[string]machine.Machine) error {
+// sweptPoints sums the grid points the pools have scheduled so far
+// (the unit of the points/sec figure scripts/bench.sh records).
+func sweptPoints(ps map[string]*sweep.Pool) int64 {
+	var total int64
+	//simlint:ignore determinism summation is order-independent
+	for _, p := range ps {
+		total += p.Points()
+	}
+	return total
+}
+
+func tables(ms map[string]machine.Machine, cs map[string]*core.Characterization) error {
 	fmt.Println("Table A — local load plateaus (paper §5 vs simulation)")
 	fmt.Println(report.Table(report.HeadlineLocal(ms)))
 	fmt.Println("Table B — copy and remote transfer plateaus (paper §6/§9 vs simulation)")
 	fmt.Println(report.Table(report.HeadlineCopy(ms)))
 
-	cs := characterize(ms)
 	rows, err := report.HeadlineFFT(ms, cs)
 	if err != nil {
 		return err
@@ -73,17 +118,17 @@ func tables(ms map[string]machine.Machine) error {
 	return nil
 }
 
-func characterize(ms map[string]machine.Machine) map[string]*core.Characterization {
+func characterize(ps map[string]*sweep.Pool) map[string]*core.Characterization {
 	cs := make(map[string]*core.Characterization)
-	for _, k := range report.Names(ms) {
-		fmt.Fprintf(os.Stderr, "characterizing %s...\n", ms[k].Name())
-		cs[k] = core.Measure(ms[k], core.DefaultMeasure())
+	for _, k := range report.PoolNames(ps) {
+		fmt.Fprintf(os.Stderr, "characterizing %s...\n", ps[k].Machine().Name())
+		cs[k] = core.Measure(ps[k], core.DefaultMeasure())
 	}
 	return cs
 }
 
 // figureSpec describes how to produce each numbered figure.
-func printFigure(ms map[string]machine.Machine, fig int, maxWS units.Bytes) error {
+func printFigure(ms map[string]machine.Machine, ps map[string]*sweep.Pool, fig int, maxWS units.Bytes) error {
 	emitSurface := func(s *surface.Surface) {
 		fmt.Print(s.ASCII())
 	}
@@ -94,67 +139,67 @@ func printFigure(ms map[string]machine.Machine, fig int, maxWS units.Bytes) erro
 	}
 	switch fig {
 	case 1:
-		emitSurface(report.LoadFigure(ms["8400"], maxWS))
+		emitSurface(report.LoadFigure(ps["8400"], maxWS))
 	case 2:
-		s, err := report.TransferFigure(ms["8400"], machine.Fetch, maxWS)
+		s, err := report.TransferFigure(ps["8400"], machine.Fetch, maxWS)
 		if err != nil {
 			return err
 		}
 		emitSurface(s)
 	case 3:
-		emitSurface(report.LoadFigure(ms["t3d"], maxWS))
+		emitSurface(report.LoadFigure(ps["t3d"], maxWS))
 	case 4:
-		s, err := report.TransferFigure(ms["t3d"], machine.Fetch, maxWS)
+		s, err := report.TransferFigure(ps["t3d"], machine.Fetch, maxWS)
 		if err != nil {
 			return err
 		}
 		emitSurface(s)
 	case 5:
-		s, err := report.TransferFigure(ms["t3d"], machine.Deposit, maxWS)
+		s, err := report.TransferFigure(ps["t3d"], machine.Deposit, maxWS)
 		if err != nil {
 			return err
 		}
 		emitSurface(s)
 	case 6:
-		emitSurface(report.LoadFigure(ms["t3e"], maxWS))
+		emitSurface(report.LoadFigure(ps["t3e"], maxWS))
 	case 7:
-		s, err := report.TransferFigure(ms["t3e"], machine.Fetch, maxWS)
+		s, err := report.TransferFigure(ps["t3e"], machine.Fetch, maxWS)
 		if err != nil {
 			return err
 		}
 		emitSurface(s)
 	case 8:
-		s, err := report.TransferFigure(ms["t3e"], machine.Deposit, maxWS)
+		s, err := report.TransferFigure(ps["t3e"], machine.Deposit, maxWS)
 		if err != nil {
 			return err
 		}
 		emitSurface(s)
 	case 9:
-		emitCurves(first2(report.CopyFigure(ms["8400"])))
+		emitCurves(first2(report.CopyFigure(ps["8400"])))
 	case 10:
-		emitCurves(first2(report.CopyFigure(ms["t3d"])))
+		emitCurves(first2(report.CopyFigure(ps["t3d"])))
 	case 11:
-		emitCurves(first2(report.CopyFigure(ms["t3e"])))
+		emitCurves(first2(report.CopyFigure(ps["t3e"])))
 	case 12:
-		cs, err := report.RemoteCopyFigure(ms["8400"])
+		cs, err := report.RemoteCopyFigure(ps["8400"])
 		if err != nil {
 			return err
 		}
 		emitCurves(cs...)
 	case 13:
-		cs, err := report.RemoteCopyFigure(ms["t3d"])
+		cs, err := report.RemoteCopyFigure(ps["t3d"])
 		if err != nil {
 			return err
 		}
 		emitCurves(cs...)
 	case 14:
-		cs, err := report.RemoteCopyFigure(ms["t3e"])
+		cs, err := report.RemoteCopyFigure(ps["t3e"])
 		if err != nil {
 			return err
 		}
 		emitCurves(cs...)
 	case 15, 16, 17:
-		cs := characterize(ms)
+		cs := characterize(ps)
 		txt, err := report.Figures15to17(ms, cs, []int{32, 64, 128, 256, 512, 1024})
 		if err != nil {
 			return err
@@ -168,7 +213,7 @@ func printFigure(ms map[string]machine.Machine, fig int, maxWS units.Bytes) erro
 
 func first2(a, b *surface.Curve) (x, y *surface.Curve) { return a, b }
 
-func writeAll(ms map[string]machine.Machine, dir string, maxWS units.Bytes) error {
+func writeAll(ms map[string]machine.Machine, ps map[string]*sweep.Pool, dir string, maxWS units.Bytes) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -177,28 +222,28 @@ func writeAll(ms map[string]machine.Machine, dir string, maxWS units.Bytes) erro
 	}
 	type surfJob struct {
 		name string
-		m    machine.Machine
+		pool *sweep.Pool
 		mode machine.Mode
 		load bool
 	}
 	jobs := []surfJob{
-		{"fig01_8400_local_load", ms["8400"], 0, true},
-		{"fig02_8400_remote_pull", ms["8400"], machine.Fetch, false},
-		{"fig03_t3d_local_load", ms["t3d"], 0, true},
-		{"fig04_t3d_fetch", ms["t3d"], machine.Fetch, false},
-		{"fig05_t3d_deposit", ms["t3d"], machine.Deposit, false},
-		{"fig06_t3e_local_load", ms["t3e"], 0, true},
-		{"fig07_t3e_fetch", ms["t3e"], machine.Fetch, false},
-		{"fig08_t3e_deposit", ms["t3e"], machine.Deposit, false},
+		{"fig01_8400_local_load", ps["8400"], 0, true},
+		{"fig02_8400_remote_pull", ps["8400"], machine.Fetch, false},
+		{"fig03_t3d_local_load", ps["t3d"], 0, true},
+		{"fig04_t3d_fetch", ps["t3d"], machine.Fetch, false},
+		{"fig05_t3d_deposit", ps["t3d"], machine.Deposit, false},
+		{"fig06_t3e_local_load", ps["t3e"], 0, true},
+		{"fig07_t3e_fetch", ps["t3e"], machine.Fetch, false},
+		{"fig08_t3e_deposit", ps["t3e"], machine.Deposit, false},
 	}
 	for _, j := range jobs {
 		fmt.Fprintf(os.Stderr, "sweeping %s...\n", j.name)
 		var s *surface.Surface
 		var err error
 		if j.load {
-			s = report.LoadFigure(j.m, maxWS)
+			s = report.LoadFigure(j.pool, maxWS)
 		} else {
-			s, err = report.TransferFigure(j.m, j.mode, maxWS)
+			s, err = report.TransferFigure(j.pool, j.mode, maxWS)
 			if err != nil {
 				return err
 			}
@@ -215,7 +260,7 @@ func writeAll(ms map[string]machine.Machine, dir string, maxWS units.Bytes) erro
 	}
 	for _, j := range copyJobs {
 		fmt.Fprintf(os.Stderr, "sweeping %s local copies...\n", j.key)
-		a, b := report.CopyFigure(ms[j.key])
+		a, b := report.CopyFigure(ps[j.key])
 		if err := write(fmt.Sprintf("%s_%s_local_copy.txt", j.name, j.key), a.Table()+"\n"+b.Table()); err != nil {
 			return err
 		}
@@ -225,7 +270,7 @@ func writeAll(ms map[string]machine.Machine, dir string, maxWS units.Bytes) erro
 	}
 	for _, j := range remoteJobs {
 		fmt.Fprintf(os.Stderr, "sweeping %s remote copies...\n", j.key)
-		cs, err := report.RemoteCopyFigure(ms[j.key])
+		cs, err := report.RemoteCopyFigure(ps[j.key])
 		if err != nil {
 			return err
 		}
@@ -237,7 +282,7 @@ func writeAll(ms map[string]machine.Machine, dir string, maxWS units.Bytes) erro
 			return err
 		}
 	}
-	cs := characterize(ms)
+	cs := characterize(ps)
 	txt, err := report.Figures15to17(ms, cs, []int{32, 64, 128, 256, 512, 1024})
 	if err != nil {
 		return err
@@ -246,5 +291,9 @@ func writeAll(ms map[string]machine.Machine, dir string, maxWS units.Bytes) erro
 		return err
 	}
 	fmt.Fprintln(os.Stderr, "wrote figures to", dir)
-	return tables(ms)
+	if err := tables(ms, cs); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "swept %d grid points\n", sweptPoints(ps))
+	return nil
 }

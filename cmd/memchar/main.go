@@ -14,11 +14,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/access"
 	"repro/internal/bench"
 	"repro/internal/machine"
 	"repro/internal/surface"
+	"repro/internal/sweep"
 	"repro/internal/units"
 )
 
@@ -27,22 +30,46 @@ func main() {
 	what := flag.String("what", "headline", "local, remote, copy, remotecopy, or headline")
 	mode := flag.String("mode", "fetch", "fetch or deposit (remote sweeps)")
 	csv := flag.Bool("csv", false, "emit CSV instead of ASCII art")
-	maxWS := flag.Int64("maxws", int64(8*units.MB), "largest working set in bytes")
+	maxWS := flag.String("maxws", "8M", "largest working set (bytes, or sizes like 512K, 8M)")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "sweep workers (1 = sequential)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
 
-	for _, m := range pick(*mach) {
+	ws, err := units.ParseBytes(*maxWS)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memchar:", err)
+		os.Exit(2)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memchar:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "memchar:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	for _, factory := range pick(*mach) {
+		p := sweep.NewPool(factory, *jobs)
+		m := p.Machine()
 		switch *what {
 		case "local":
-			s := bench.LoadSurface(m, 0, surface.PaperStrides,
-				surface.WorkingSets(units.KB/2, units.Bytes(*maxWS)))
+			s := bench.LoadSurface(p, 0, surface.PaperStrides,
+				surface.WorkingSets(units.KB/2, ws))
 			emit(s, *csv)
 		case "remote":
 			md := machine.Fetch
 			if *mode == "deposit" {
 				md = machine.Deposit
 			}
-			s, err := bench.TransferSurface(m, 0, machine.PreferredPartner(m), md, surface.PaperStrides,
-				surface.WorkingSets(units.KB/2, units.Bytes(*maxWS)))
+			s, err := bench.TransferSurface(p, 0, machine.PreferredPartner(m), md, surface.PaperStrides,
+				surface.WorkingSets(units.KB/2, ws))
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "%s: %v\n", m.Name(), err)
 				continue
@@ -50,7 +77,7 @@ func main() {
 			emit(s, *csv)
 		case "copy":
 			for _, stridedLoads := range []bool{true, false} {
-				c := bench.CopyCurve(m, 0, 64*units.MB, surface.CopyStrides, stridedLoads)
+				c := bench.CopyCurve(p, 0, 64*units.MB, surface.CopyStrides, stridedLoads)
 				fmt.Println(c.Table())
 			}
 		case "remotecopy":
@@ -59,7 +86,7 @@ func main() {
 				if _, ok := m.(*machine.SMP); ok {
 					md = machine.Fetch
 				}
-				c, err := bench.TransferCurve(m, 0, machine.PreferredPartner(m), 64*units.MB,
+				c, err := bench.TransferCurve(p, 0, machine.PreferredPartner(m), 64*units.MB,
 					surface.CopyStrides, md, stridedLoads, true)
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "%s: %v\n", m.Name(), err)
@@ -74,18 +101,34 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memchar:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "memchar:", err)
+			os.Exit(1)
+		}
+	}
 }
 
-func pick(name string) []machine.Machine {
+func pick(name string) []func() machine.Machine {
+	dec := func() machine.Machine { return machine.NewDEC8400(4) }
+	t3d := func() machine.Machine { return machine.NewT3D(4) }
+	t3e := func() machine.Machine { return machine.NewT3E(4) }
 	switch name {
 	case "8400", "dec8400":
-		return []machine.Machine{machine.NewDEC8400(4)}
+		return []func() machine.Machine{dec}
 	case "t3d":
-		return []machine.Machine{machine.NewT3D(4)}
+		return []func() machine.Machine{t3d}
 	case "t3e":
-		return []machine.Machine{machine.NewT3E(4)}
+		return []func() machine.Machine{t3e}
 	default:
-		return []machine.Machine{machine.NewDEC8400(4), machine.NewT3D(4), machine.NewT3E(4)}
+		return []func() machine.Machine{dec, t3d, t3e}
 	}
 }
 

@@ -1,0 +1,82 @@
+package repro_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/machine"
+	"repro/internal/surface"
+	"repro/internal/sweep"
+	"repro/internal/units"
+)
+
+// The Figure 6 load surface (T3E) at reduced axes: small enough to
+// commit as a golden fixture and regenerate in CI, large enough to
+// cross the L1/L2 boundaries and the stream-unit stride texture.
+var (
+	goldenStrides = []int{1, 2, 4, 8, 16, 32, 64, 128}
+	goldenWS      = surface.WorkingSets(units.KB/2, 512*units.KB)
+)
+
+func goldenFig06(workers int) *surface.Surface {
+	p := sweep.NewPool(func() machine.Machine { return machine.NewT3E(4) }, workers)
+	return bench.LoadSurface(p, 0, goldenStrides, goldenWS)
+}
+
+// TestGoldenFig06 pins the reduced Figure 6 surface byte-for-byte
+// against the committed fixture, so any simulator change that moves a
+// measured number is visible in review. Regenerate deliberately with:
+//
+//	UPDATE_GOLDEN=1 go test -run TestGoldenFig06 .
+func TestGoldenFig06(t *testing.T) {
+	got := goldenFig06(1).CSV()
+	path := filepath.Join("testdata", "fig06_t3e_reduced.csv")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_GOLDEN=1 to create the fixture)", err)
+	}
+	if got != string(want) {
+		t.Errorf("reduced Figure 6 CSV differs from golden fixture %s;\n"+
+			"if the simulator change is intentional, regenerate with UPDATE_GOLDEN=1", path)
+	}
+}
+
+// TestSweepDeterminism is the -j contract on a real artifact: the
+// same surface swept sequentially and over four workers must be
+// byte-identical, CSV and ASCII both.
+func TestSweepDeterminism(t *testing.T) {
+	seq := goldenFig06(1)
+	par := goldenFig06(4)
+	if seq.CSV() != par.CSV() {
+		t.Error("Figure 6 CSV differs between -j 1 and -j 4")
+	}
+	if seq.ASCII() != par.ASCII() {
+		t.Error("Figure 6 ASCII differs between -j 1 and -j 4")
+	}
+}
+
+// TestTransferSweepDeterminism covers the error-returning sweep path:
+// a remote fetch surface must also be worker-count invariant.
+func TestTransferSweepDeterminism(t *testing.T) {
+	run := func(workers int) *surface.Surface {
+		p := sweep.NewPool(func() machine.Machine { return machine.NewT3E(4) }, workers)
+		s, err := bench.TransferSurface(p, 0, machine.PreferredPartner(p.Machine()),
+			machine.Fetch, []int{1, 8, 64}, []units.Bytes{8 * units.KB, 256 * units.KB})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	if run(1).CSV() != run(4).CSV() {
+		t.Error("T3E fetch surface CSV differs between -j 1 and -j 4")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fft"
 	"repro/internal/machine"
+	"repro/internal/sweep"
 )
 
 func main() {
@@ -22,7 +23,7 @@ func main() {
 		machine.NewT3E(4),
 	} {
 		fmt.Fprintf(os.Stderr, "characterizing %s...\n", m.Name())
-		char := core.Measure(m, core.DefaultMeasure())
+		char := core.Measure(sweep.Seq(m), core.DefaultMeasure())
 
 		vendor, err := fft.Run2D(m, n, fft.Options{Char: char})
 		if err != nil {

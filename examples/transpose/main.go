@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fx"
 	"repro/internal/machine"
+	"repro/internal/sweep"
 )
 
 func main() {
@@ -29,7 +30,7 @@ func main() {
 
 	for _, m := range machines {
 		fmt.Fprintf(os.Stderr, "characterizing %s...\n", m.Name())
-		char := core.Measure(m, core.DefaultMeasure())
+		char := core.Measure(sweep.Seq(m), core.DefaultMeasure())
 
 		plan, err := fx.Compile(char, assign)
 		if err != nil {

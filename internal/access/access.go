@@ -118,6 +118,50 @@ func (c *Cursor) Next() (a Addr, newSegment bool, ok bool) {
 	return a, newSegment, true
 }
 
+// Run returns the next run of accesses sharing a fixed byte step: up
+// to max accesses, never crossing a segment boundary. start is the
+// address of the first access, step the byte distance between
+// consecutive accesses, and count how many accesses the run covers
+// (>= 1). newSegment is what Next would report for the run's first
+// access — in particular, a continuation run after a max-capped split
+// reports false. ok is false when the pass is done. Calling Run(1)
+// repeatedly visits exactly the addresses Next visits; batched
+// benchmark loops use larger caps to amortize per-access overhead.
+func (c *Cursor) Run(max int64) (start Addr, step int64, count int64, newSegment bool, ok bool) {
+	if max < 1 {
+		max = 1
+	}
+	step = c.s * int64(units.Word)
+	if c.p.NoWrap {
+		if c.i >= c.n {
+			return 0, 0, 0, false, false
+		}
+		count = c.n - c.i
+		if count > max {
+			count = max
+		}
+		start = c.p.Base + Addr(c.i*c.s*int64(units.Word))
+		newSegment = c.i == 0
+		c.i += count
+		return start, step, count, newSegment, true
+	}
+	if c.off >= c.s || c.off >= c.n {
+		return 0, 0, 0, false, false
+	}
+	newSegment = c.i == c.off
+	start = c.p.Base + Addr(c.i*int64(units.Word))
+	count = (c.n - c.i + c.s - 1) / c.s
+	if count > max {
+		count = max
+	}
+	c.i += count * c.s
+	if c.i >= c.n {
+		c.off++
+		c.i = c.off
+	}
+	return start, step, count, newSegment, true
+}
+
 // Reset rewinds the cursor to the start of the pass.
 func (c *Cursor) Reset() { c.off, c.i = 0, 0 }
 

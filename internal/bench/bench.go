@@ -17,6 +17,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/node"
 	"repro/internal/surface"
+	"repro/internal/sweep"
 	"repro/internal/units"
 )
 
@@ -51,16 +52,16 @@ func StoreConst(m machine.Machine, idx int, p access.Pattern) units.BytesPerSec 
 	m.ResetTiming()
 	var words int64
 	c := access.NewCursor(p)
-	for {
-		a, seg, ok := c.Next()
-		if !ok || words >= measureWords {
+	for words < measureWords {
+		start, step, count, seg, ok := c.Run(measureWords - words)
+		if !ok {
 			break
 		}
 		if seg {
 			n.SegmentStart()
 		}
-		n.StoreWord(a)
-		words++
+		n.StoreRun(start, step, count)
+		words += count
 	}
 	n.FlushWrites()
 	return units.BW(units.Bytes(words)*units.Word, n.Now())
@@ -77,21 +78,7 @@ func LocalCopy(m machine.Machine, idx int, cp access.CopyPattern) units.BytesPer
 	primeStore(n, access.Pattern{Base: cp.DstBase, WorkingSet: cp.WorkingSet, Stride: cp.StoreStride})
 	m.ResetTiming()
 
-	src := access.NewCursor(access.Pattern{Base: cp.SrcBase, WorkingSet: cp.WorkingSet, Stride: cp.LoadStride})
-	dst := access.NewCursor(access.Pattern{Base: cp.DstBase, WorkingSet: cp.WorkingSet, Stride: cp.StoreStride})
-	var words int64
-	for words < measureWords {
-		la, lseg, lok := src.Next()
-		sa, sseg, sok := dst.Next()
-		if !lok || !sok {
-			break
-		}
-		if lseg || sseg {
-			n.SegmentStart()
-		}
-		n.CopyWord(la, sa)
-		words++
-	}
+	words := n.CopyPass(cp, measureWords)
 	n.FlushWrites()
 	return units.BW(units.Bytes(words)*units.Word, n.Now())
 }
@@ -111,133 +98,143 @@ func Transfer(m machine.Machine, src, dst int, cp access.CopyPattern, opt machin
 }
 
 // LoadSurface sweeps LoadSum over the grid — Figures 1, 3, and 6.
-func LoadSurface(m machine.Machine, idx int, strides []int, wss []units.Bytes) *surface.Surface {
-	s := surface.New(m.Name(), "local load bandwidth", strides, wss)
+// Points fan out across the pool's workers; results land by index, so
+// the surface is byte-identical whatever the pool width.
+func LoadSurface(p *sweep.Pool, idx int, strides []int, wss []units.Bytes) *surface.Surface {
+	s := surface.New(p.Machine().Name(), "local load bandwidth", strides, wss)
 	base := machine.LocalBase(idx)
-	for wi, ws := range wss {
-		for si, st := range strides {
-			m.ColdReset()
-			bw := LoadSum(m, idx, access.Pattern{Base: base, WorkingSet: ws, Stride: st})
-			s.Set(wi, si, bw)
-		}
-	}
+	// The load kernel cannot fail; Run's error is always nil here.
+	_ = p.Run(len(wss)*len(strides), func(m machine.Machine, i int) error {
+		wi, si := i/len(strides), i%len(strides)
+		bw := LoadSum(m, idx, access.Pattern{Base: base, WorkingSet: wss[wi], Stride: strides[si]})
+		s.Set(wi, si, bw)
+		return nil
+	})
 	return s
 }
 
 // TransferSurface sweeps remote transfers over the grid — Figures 2,
 // 4, 5, 7, and 8. The stride applies to the remote side: the loads
 // for Fetch, the stores for Deposit; the local side is contiguous.
-func TransferSurface(m machine.Machine, src, dst int, mode machine.Mode, strides []int, wss []units.Bytes) (*surface.Surface, error) {
+func TransferSurface(p *sweep.Pool, src, dst int, mode machine.Mode, strides []int, wss []units.Bytes) (*surface.Surface, error) {
 	title := "remote transfer bandwidth, " + mode.String()
-	s := surface.New(m.Name(), title, strides, wss)
-	for wi, ws := range wss {
-		for si, st := range strides {
-			m.ColdReset()
-			cp := access.CopyPattern{
-				SrcBase: machine.LocalBase(src), DstBase: machine.LocalBase(dst),
-				WorkingSet: ws, LoadStride: 1, StoreStride: 1,
-			}
-			if mode == machine.Deposit {
-				cp.StoreStride = st
-			} else {
-				cp.LoadStride = st
-			}
-			bw, err := Transfer(m, src, dst, cp, machine.Options{Mode: mode})
-			if err != nil {
-				return nil, err
-			}
-			s.Set(wi, si, bw)
+	s := surface.New(p.Machine().Name(), title, strides, wss)
+	err := p.Run(len(wss)*len(strides), func(m machine.Machine, i int) error {
+		wi, si := i/len(strides), i%len(strides)
+		cp := access.CopyPattern{
+			SrcBase: machine.LocalBase(src), DstBase: machine.LocalBase(dst),
+			WorkingSet: wss[wi], LoadStride: 1, StoreStride: 1,
 		}
+		if mode == machine.Deposit {
+			cp.StoreStride = strides[si]
+		} else {
+			cp.LoadStride = strides[si]
+		}
+		bw, err := Transfer(m, src, dst, cp, machine.Options{Mode: mode})
+		if err != nil {
+			return err
+		}
+		s.Set(wi, si, bw)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return s, nil
 }
 
 // CopyCurve sweeps LocalCopy over strides at a fixed large working
 // set — Figures 9-11. stridedLoads selects which side is strided.
-func CopyCurve(m machine.Machine, idx int, ws units.Bytes, strides []int, stridedLoads bool) *surface.Curve {
+func CopyCurve(p *sweep.Pool, idx int, ws units.Bytes, strides []int, stridedLoads bool) *surface.Curve {
 	title := "local copy, contiguous loads/strided stores"
 	if stridedLoads {
 		title = "local copy, strided loads/contiguous stores"
 	}
-	c := &surface.Curve{Machine: m.Name(), Title: title,
+	c := &surface.Curve{Machine: p.Machine().Name(), Title: title,
 		Strides: append([]int(nil), strides...),
 		BW:      make([]units.BytesPerSec, len(strides))}
 	base := machine.LocalBase(idx)
 	if ws > transferCap {
 		ws = transferCap
 	}
-	for i, st := range strides {
-		m.ColdReset()
+	// The copy kernel cannot fail; Run's error is always nil here.
+	_ = p.Run(len(strides), func(m machine.Machine, i int) error {
 		cp := access.CopyPattern{
 			SrcBase: base, DstBase: base + 1<<30,
 			WorkingSet: ws, LoadStride: 1, StoreStride: 1,
 		}
 		if stridedLoads {
-			cp.LoadStride = st
+			cp.LoadStride = strides[i]
 		} else {
-			cp.StoreStride = st
+			cp.StoreStride = strides[i]
 		}
 		c.BW[i] = LocalCopy(m, idx, cp)
-	}
+		return nil
+	})
 	return c
 }
 
 // TransferCurve sweeps remote transfers over strides at a fixed large
 // working set — Figures 12-14. stridedLoads selects whether the
 // source reads or the destination writes are strided.
-func TransferCurve(m machine.Machine, src, dst int, ws units.Bytes, strides []int, mode machine.Mode, stridedLoads bool, pipelined bool) (*surface.Curve, error) {
+func TransferCurve(p *sweep.Pool, src, dst int, ws units.Bytes, strides []int, mode machine.Mode, stridedLoads bool, pipelined bool) (*surface.Curve, error) {
 	title := "remote copy, " + mode.String()
 	if stridedLoads {
 		title += ", strided loads/contiguous stores"
 	} else {
 		title += ", contiguous loads/strided stores"
 	}
-	c := &surface.Curve{Machine: m.Name(), Title: title,
+	c := &surface.Curve{Machine: p.Machine().Name(), Title: title,
 		Strides: append([]int(nil), strides...),
 		BW:      make([]units.BytesPerSec, len(strides))}
-	for i, st := range strides {
-		m.ColdReset()
+	err := p.Run(len(strides), func(m machine.Machine, i int) error {
 		cp := access.CopyPattern{
 			SrcBase: machine.LocalBase(src), DstBase: machine.LocalBase(dst),
 			WorkingSet: ws, LoadStride: 1, StoreStride: 1,
 		}
 		if stridedLoads {
-			cp.LoadStride = st
+			cp.LoadStride = strides[i]
 		} else {
-			cp.StoreStride = st
+			cp.StoreStride = strides[i]
 		}
 		bw, err := Transfer(m, src, dst, cp, machine.Options{Mode: mode, Pipelined: pipelined})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		c.BW[i] = bw
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return c, nil
 }
 
 // prime walks up to primeWords of p with loads (primed-cache
-// semantics, §5).
+// semantics, §5). The pass is batched run by run; priming charges no
+// segment overhead, exactly like the per-word loop it replaces.
 func prime(n *node.Node, p access.Pattern) {
 	c := access.NewCursor(p)
-	for i := int64(0); i < primeWords; i++ {
-		a, _, ok := c.Next()
+	for left := int64(primeWords); left > 0; {
+		start, step, count, _, ok := c.Run(left)
 		if !ok {
 			return
 		}
-		n.LoadWord(a)
+		n.LoadRun(start, step, count)
+		left -= count
 	}
 }
 
 // primeStore walks up to primeWords of p with stores.
 func primeStore(n *node.Node, p access.Pattern) {
 	c := access.NewCursor(p)
-	for i := int64(0); i < primeWords; i++ {
-		a, _, ok := c.Next()
+	for left := int64(primeWords); left > 0; {
+		start, step, count, _, ok := c.Run(left)
 		if !ok {
-			n.FlushWrites()
-			return
+			break
 		}
-		n.StoreWord(a)
+		n.StoreRun(start, step, count)
+		left -= count
 	}
 	n.FlushWrites()
 }
@@ -248,15 +245,15 @@ func measure(n *node.Node, p access.Pattern) int64 {
 	c := access.NewCursor(p)
 	var words int64
 	for words < measureWords {
-		a, seg, ok := c.Next()
+		start, step, count, seg, ok := c.Run(measureWords - words)
 		if !ok {
 			break
 		}
 		if seg {
 			n.SegmentStart()
 		}
-		n.LoadWord(a)
-		words++
+		n.LoadRun(start, step, count)
+		words += count
 	}
 	return words
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/access"
 	"repro/internal/machine"
 	"repro/internal/surface"
+	"repro/internal/sweep"
 	"repro/internal/units"
 )
 
@@ -67,7 +68,7 @@ func TestTransferCapsHugeWorkingSets(t *testing.T) {
 
 func TestLoadSurfaceShape(t *testing.T) {
 	m := machine.NewT3D(1)
-	s := LoadSurface(m, 0, []int{1, 16}, []units.Bytes{4 * units.KB, 2 * units.MB})
+	s := LoadSurface(sweep.Seq(m), 0, []int{1, 16}, []units.Bytes{4 * units.KB, 2 * units.MB})
 	if s.BW[0][0] <= s.BW[1][0] {
 		t.Errorf("small WS (%v) should beat large WS (%v)", s.BW[0][0], s.BW[1][0])
 	}
@@ -78,7 +79,7 @@ func TestLoadSurfaceShape(t *testing.T) {
 
 func TestTransferSurfaceDepositUnsupportedOn8400(t *testing.T) {
 	m := machine.NewDEC8400(2)
-	_, err := TransferSurface(m, 0, 1, machine.Deposit, []int{1}, []units.Bytes{units.KB})
+	_, err := TransferSurface(sweep.Seq(m), 0, 1, machine.Deposit, []int{1}, []units.Bytes{units.KB})
 	if err == nil {
 		t.Fatalf("deposit surface on the 8400 should fail")
 	}
@@ -86,7 +87,7 @@ func TestTransferSurfaceDepositUnsupportedOn8400(t *testing.T) {
 
 func TestCopyCurveMonotoneEnough(t *testing.T) {
 	m := machine.NewT3D(1)
-	c := CopyCurve(m, 0, 4*units.MB, surface.CopyStrides, false)
+	c := CopyCurve(sweep.Seq(m), 0, 4*units.MB, surface.CopyStrides, false)
 	if c.BW[0] <= c.BW[len(c.BW)-1] {
 		t.Errorf("contiguous copy (%v) should beat stride-64 copy (%v)",
 			c.BW[0], c.BW[len(c.BW)-1])

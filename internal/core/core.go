@@ -18,6 +18,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/machine"
 	"repro/internal/surface"
+	"repro/internal/sweep"
 	"repro/internal/units"
 )
 
@@ -109,26 +110,27 @@ func DefaultMeasure() MeasureOptions {
 }
 
 // Measure runs the micro-benchmark suite against a machine and
-// returns its characterization. This is the empirical step the paper
+// returns its characterization, fanning every sweep's grid points
+// across the pool's workers. This is the empirical step the paper
 // argues for: "these models can no longer be derived from the data
 // sheets ... but require measurements of micro benchmarks" (§9).
-func Measure(m machine.Machine, opt MeasureOptions) *Characterization {
+func Measure(p *sweep.Pool, opt MeasureOptions) *Characterization {
 	if len(opt.Strides) == 0 {
 		opt = DefaultMeasure()
 	}
-	c := &Characterization{MachineName: m.Name()}
-	c.LocalLoad = bench.LoadSurface(m, 0, opt.Strides, opt.WorkingSets)
-	c.LocalCopyStridedLoads = bench.CopyCurve(m, 0, opt.CopyWS, opt.Strides, true)
-	c.LocalCopyStridedStores = bench.CopyCurve(m, 0, opt.CopyWS, opt.Strides, false)
+	c := &Characterization{MachineName: p.Machine().Name()}
+	c.LocalLoad = bench.LoadSurface(p, 0, opt.Strides, opt.WorkingSets)
+	c.LocalCopyStridedLoads = bench.CopyCurve(p, 0, opt.CopyWS, opt.Strides, true)
+	c.LocalCopyStridedStores = bench.CopyCurve(p, 0, opt.CopyWS, opt.Strides, false)
 
-	partner := machine.PreferredPartner(m)
-	if cur, err := bench.TransferCurve(m, 0, partner, opt.CopyWS, opt.Strides, machine.Fetch, true, false); err == nil {
+	partner := machine.PreferredPartner(p.Machine())
+	if cur, err := bench.TransferCurve(p, 0, partner, opt.CopyWS, opt.Strides, machine.Fetch, true, false); err == nil {
 		c.RemoteFetch = cur
 	}
-	if cur, err := bench.TransferCurve(m, 0, partner, opt.CopyWS, opt.Strides, machine.Deposit, false, false); err == nil {
+	if cur, err := bench.TransferCurve(p, 0, partner, opt.CopyWS, opt.Strides, machine.Deposit, false, false); err == nil {
 		c.RemoteDeposit = cur
 	}
-	if cur, err := bench.TransferCurve(m, 0, partner, opt.CopyWS, opt.Strides, machine.Fetch, true, true); err == nil {
+	if cur, err := bench.TransferCurve(p, 0, partner, opt.CopyWS, opt.Strides, machine.Fetch, true, true); err == nil {
 		c.BlockedFetch = cur
 	}
 	return c

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/machine"
+	"repro/internal/sweep"
 	"repro/internal/units"
 )
 
@@ -25,7 +26,7 @@ func characterize(t *testing.T) (map[string]machine.Machine, map[string]*Charact
 		}
 		chars = make(map[string]*Characterization)
 		for k, m := range machs {
-			chars[k] = Measure(m, DefaultMeasure())
+			chars[k] = Measure(sweep.Seq(m), DefaultMeasure())
 		}
 	})
 	return machs, chars

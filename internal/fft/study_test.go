@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/sweep"
 )
 
 var (
@@ -24,7 +25,7 @@ func studySetup(t *testing.T) (map[string]machine.Machine, map[string]*core.Char
 		}
 		studyC = make(map[string]*core.Characterization)
 		for k, m := range studyM {
-			studyC[k] = core.Measure(m, core.DefaultMeasure())
+			studyC[k] = core.Measure(sweep.Seq(m), core.DefaultMeasure())
 		}
 	})
 	return studyM, studyC

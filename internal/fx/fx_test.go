@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/sweep"
 	"repro/internal/units"
 )
 
@@ -25,9 +26,9 @@ func chars(t *testing.T) map[string]*core.Characterization {
 			CopyWS:      4 * units.MB,
 		}
 		fxChar = map[string]*core.Characterization{
-			"8400": core.Measure(machine.NewDEC8400(4), opt),
-			"t3d":  core.Measure(machine.NewT3D(4), opt),
-			"t3e":  core.Measure(machine.NewT3E(4), opt),
+			"8400": core.Measure(sweep.Seq(machine.NewDEC8400(4)), opt),
+			"t3d":  core.Measure(sweep.Seq(machine.NewT3D(4)), opt),
+			"t3e":  core.Measure(sweep.Seq(machine.NewT3E(4)), opt),
 		}
 	})
 	return fxChar

@@ -37,3 +37,23 @@ func draw() int {
 	r := rand.New(rand.NewSource(42))
 	return r.Intn(6)
 }
+
+// Writing results by point index is the sanctioned concurrent
+// pattern: every goroutine owns its slot, order cannot vary.
+func fanOutByIndex(points []int) []int {
+	results := make([]int, len(points))
+	done := make(chan struct{})
+	for i := range points {
+		go func(i int) {
+			// A goroutine-local slice is private; appending to it is fine.
+			var local []int
+			local = append(local, points[i])
+			results[i] = local[0]
+			done <- struct{}{}
+		}(i)
+	}
+	for range points {
+		<-done
+	}
+	return results
+}

@@ -168,6 +168,19 @@ func (m *SMP) ColdReset() {
 	m.coh.Reset()
 }
 
+// storeRuns drives nd's store loop over the cursor's remaining
+// accesses in batched runs. No segment overhead is charged, matching
+// the priming and producer walks it serves.
+func storeRuns(nd *node.Node, c *access.Cursor) {
+	for {
+		start, step, count, _, ok := c.Run(1 << 62)
+		if !ok {
+			return
+		}
+		nd.StoreRun(start, step, count)
+	}
+}
+
 // consumeBuf is the size of the consumer's cache-resident landing
 // buffer: a pull transfer delivers data into the consumer's working
 // zone (its caches), where the next computation phase consumes it —
@@ -211,8 +224,8 @@ func (m *SMP) Transfer(src, dst int, cp access.CopyPattern, opt Options) (units.
 	if dstWS > consumeBuf {
 		dstWS = consumeBuf
 	}
-	primeDst := access.Pattern{Base: cp.DstBase, WorkingSet: dstWS, Stride: 1}
-	primeDst.Walk(func(a access.Addr, _ bool) { consumer.StoreWord(a) })
+	primeDst := access.NewCursor(access.Pattern{Base: cp.DstBase, WorkingSet: dstWS, Stride: 1})
+	storeRuns(consumer, primeDst)
 	consumer.FlushWrites()
 
 	var total units.Time
@@ -222,14 +235,19 @@ func (m *SMP) Transfer(src, dst int, cp access.CopyPattern, opt Options) (units.
 			n = cp.WorkingSet - off
 		}
 		// The producer generates this chunk (contiguous stores).
-		prod := access.Pattern{Base: cp.SrcBase + access.Addr(off), WorkingSet: n, Stride: 1}
-		prod.Walk(func(a access.Addr, _ bool) { producer.StoreWord(a) })
+		prod := access.NewCursor(access.Pattern{
+			Base: cp.SrcBase + access.Addr(off), WorkingSet: n, Stride: 1})
+		storeRuns(producer, prod)
 		producer.FlushWrites()
 
 		// Synchronization point, then the consumer pulls; only the
 		// consumer's time is the transfer time (§5.2: "we measure
 		// the transfer bandwidth of the second processor while it
-		// is pulling the data over").
+		// is pulling the data over"). The landing buffer is smaller
+		// than the pulled chunk, so the store cursor wraps: each
+		// load run is partitioned into store runs, restarting the
+		// store cursor whenever it is exhausted. Segment overhead is
+		// charged for load segments only, as the per-word loop did.
 		m.ResetTiming()
 		load := access.NewCursor(access.Pattern{
 			Base: cp.SrcBase + access.Addr(off), WorkingSet: n, Stride: cp.LoadStride,
@@ -237,19 +255,22 @@ func (m *SMP) Transfer(src, dst int, cp access.CopyPattern, opt Options) (units.
 		store := access.NewCursor(access.Pattern{
 			Base: cp.DstBase, WorkingSet: dstWS, Stride: cp.StoreStride})
 		for {
-			la, lseg, ok := load.Next()
-			if !ok {
+			la, lstep, lcount, lseg, lok := load.Run(1 << 62)
+			if !lok {
 				break
 			}
-			sa, _, sok := store.Next()
-			if !sok {
-				store.Reset()
-				sa, _, _ = store.Next()
+			for done := int64(0); done < lcount; {
+				sa, sstep, scount, _, sok := store.Run(lcount - done)
+				if !sok {
+					store.Reset()
+					continue
+				}
+				if lseg && done == 0 {
+					consumer.SegmentStart()
+				}
+				consumer.CopyRun(la+access.Addr(done*lstep), lstep, sa, sstep, scount)
+				done += scount
 			}
-			if lseg {
-				consumer.SegmentStart()
-			}
-			consumer.CopyWord(la, sa)
 		}
 		consumer.FlushWrites()
 		total += consumer.Now()

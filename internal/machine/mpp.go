@@ -81,16 +81,17 @@ func (m *MPP) depositCPU(src, dst int, cp access.CopyPattern) units.Time {
 
 	// Prime the producer's cache on the source region so small
 	// working sets are served from L1 as in the paper's setup.
-	prime := access.Pattern{Base: cp.SrcBase, WorkingSet: cp.WorkingSet, Stride: cp.LoadStride}
-	prime.Walk(func(a access.Addr, _ bool) { producer.LoadWord(a) })
+	pc := access.NewCursor(access.Pattern{Base: cp.SrcBase, WorkingSet: cp.WorkingSet, Stride: cp.LoadStride})
+	for {
+		start, step, count, _, ok := pc.Run(1 << 62)
+		if !ok {
+			break
+		}
+		producer.LoadRun(start, step, count)
+	}
 	m.ResetTiming()
 
-	cp.Walk(func(l, s access.Addr, seg bool) {
-		if seg {
-			producer.SegmentStart()
-		}
-		producer.CopyWord(l, s)
-	})
+	producer.CopyPass(cp, 0)
 	producer.FlushWrites()
 	if m.router.LastDelivery > producer.Now() {
 		return m.router.LastDelivery
@@ -104,12 +105,7 @@ func (m *MPP) depositCPU(src, dst int, cp access.CopyPattern) units.Time {
 func (m *MPP) naiveFetch(src, dst int, cp access.CopyPattern) units.Time {
 	consumer := m.nodes[dst]
 	m.ResetTiming()
-	cp.Walk(func(l, s access.Addr, seg bool) {
-		if seg {
-			consumer.SegmentStart()
-		}
-		consumer.CopyWord(l, s)
-	})
+	consumer.CopyPass(cp, 0)
 	consumer.FlushWrites()
 	return consumer.Now()
 }

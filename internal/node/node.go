@@ -295,11 +295,17 @@ func (n *Node) ResetTiming() {
 }
 
 // InvalidateCaches drops every cache line on the node (the T3D's
-// whole-cache invalidation at synchronization points, §3.2).
+// whole-cache invalidation at synchronization points, §3.2). It also
+// forgets the contiguous store-run used for write combining: a cold
+// start must not inherit run state from whatever benchmark ran
+// before, or identical grid points would time differently depending
+// on sweep order.
 func (n *Node) InvalidateCaches() {
 	for _, c := range n.caches {
 		c.InvalidateAll()
 	}
+	n.storeRunNext = 0
+	n.storeRunLen = 0
 }
 
 // InvalidateLine drops the line containing a from all levels (remote

@@ -121,6 +121,55 @@ const (
 	Put
 )
 
+// timeHeap is a min-heap of completion times. EReg retires the
+// earliest outstanding element transfer per issued operation; a heap
+// makes that O(log Registers) instead of a linear scan of up to 512
+// slots. Only the minimum value is ever consumed, so replacing the
+// scan-and-swap-remove with a heap leaves every timing result
+// bit-identical: the extracted minimum and the surviving multiset of
+// completion times are the same.
+type timeHeap []units.Time
+
+func (h *timeHeap) push(t units.Time) {
+	s := append(*h, t)
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s[parent] <= s[i] {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
+	*h = s
+}
+
+func (h *timeHeap) popMin() units.Time {
+	s := *h
+	min := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(s) && s[l] < s[small] {
+			small = l
+		}
+		if r < len(s) && s[r] < s[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		s[i], s[small] = s[small], s[i]
+		i = small
+	}
+	*h = s
+	return min
+}
+
 // EReg moves the words of cp between local and rem through the
 // E-registers. For Get, rem is the source (cp.LoadStride applies to
 // its memory) and local receives at cp.StoreStride. For Put, local is
@@ -134,44 +183,48 @@ func EReg(net *torus.Network, local, rem *node.Node, cp access.CopyPattern, dir 
 	if cp.LoadStride <= 1 && cp.StoreStride <= 1 && cfg.BlockBytes > units.Word {
 		chunk = cfg.BlockBytes
 	}
-	wordsPerChunk := int64(chunk.Words())
 
 	srcNode, dstNode := local, rem
 	if dir == Get {
 		srcNode, dstNode = rem, local
 	}
 
-	outstanding := make([]units.Time, 0, cfg.Registers)
+	outstanding := make(timeHeap, 0, cfg.Registers)
 	var now, last units.Time
-	var i int64
-	cp.Walk(func(la, sa access.Addr, _ bool) {
-		if i%wordsPerChunk != 0 {
-			i++
-			return
-		}
-		i++
+	issue := func(la, sa access.Addr) {
 		if len(outstanding) == cfg.Registers {
-			earliest := 0
-			for j, c := range outstanding {
-				if c < outstanding[earliest] {
-					earliest = j
-				}
+			if min := outstanding.popMin(); min > now {
+				now = min
 			}
-			if outstanding[earliest] > now {
-				now = outstanding[earliest]
-			}
-			outstanding[earliest] = outstanding[len(outstanding)-1]
-			outstanding = outstanding[:len(outstanding)-1]
 		}
 		readDone := srcNode.EngineRead(la, chunk, now+cfg.IssueSlot)
 		arrive := net.Send(srcNode.ID, dstNode.ID, chunk, readDone)
 		done := dstNode.EngineWrite(sa, chunk, arrive)
-		outstanding = append(outstanding, done)
+		outstanding.push(done)
 		if done > last {
 			last = done
 		}
 		now += cfg.IssueSlot
-	})
+	}
+
+	if wpc := chunk.Words(); wpc > 1 {
+		// Contiguous fast path: with both sides at unit stride the
+		// j-th issued operation covers the chunk starting at word
+		// j*wpc, so iterate whole chunks directly instead of walking
+		// every word and skipping all but each chunk's first. The
+		// final partial chunk still issues at full chunk size,
+		// exactly as the word walk did.
+		nOps := (cp.Words() + wpc - 1) / wpc
+		step := access.Addr(chunk)
+		la, sa := cp.SrcBase, cp.DstBase
+		for j := int64(0); j < nOps; j++ {
+			issue(la, sa)
+			la += step
+			sa += step
+		}
+	} else {
+		cp.Walk(func(la, sa access.Addr, _ bool) { issue(la, sa) })
+	}
 	if last > now {
 		return last
 	}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/fft"
 	"repro/internal/machine"
 	"repro/internal/surface"
+	"repro/internal/sweep"
 	"repro/internal/units"
 )
 
@@ -61,6 +62,26 @@ func Machines() map[string]machine.Machine {
 	}
 }
 
+// Factories returns constructors for the three systems, keyed like
+// Machines. Sweep pools use these to build one private instance per
+// worker.
+func Factories() map[string]func() machine.Machine {
+	return map[string]func() machine.Machine{
+		"8400": func() machine.Machine { return machine.NewDEC8400(4) },
+		"t3d":  func() machine.Machine { return machine.NewT3D(4) },
+		"t3e":  func() machine.Machine { return machine.NewT3E(4) },
+	}
+}
+
+// Pools builds one sweep pool per machine at the given width.
+func Pools(workers int) map[string]*sweep.Pool {
+	ps := make(map[string]*sweep.Pool)
+	for k, f := range Factories() {
+		ps[k] = sweep.NewPool(f, workers)
+	}
+	return ps
+}
+
 // Names returns the machine keys in sorted order. Every loop over
 // Machines() must iterate these, never the map itself, so figures,
 // CSV artifacts, and progress logs come out byte-for-byte identical
@@ -69,6 +90,19 @@ func Names(ms map[string]machine.Machine) []string {
 	names := make([]string, 0, len(ms))
 	//simlint:ignore determinism keys are sorted immediately below
 	for k := range ms {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// PoolNames returns the pool keys in sorted order, for the same
+// reason Names exists: every loop over Pools() must be ordered so
+// artifacts and logs are identical run to run.
+func PoolNames(ps map[string]*sweep.Pool) []string {
+	names := make([]string, 0, len(ps))
+	//simlint:ignore determinism keys are sorted immediately below
+	for k := range ps {
 		names = append(names, k)
 	}
 	sort.Strings(names)
@@ -204,49 +238,49 @@ func Figures15to17(ms map[string]machine.Machine, cs map[string]*core.Characteri
 }
 
 // LoadFigure regenerates one of the load surfaces (Figures 1, 3, 6).
-func LoadFigure(m machine.Machine, maxWS units.Bytes) *surface.Surface {
-	return bench.LoadSurface(m, 0, surface.PaperStrides, surface.WorkingSets(units.KB/2, maxWS))
+func LoadFigure(p *sweep.Pool, maxWS units.Bytes) *surface.Surface {
+	return bench.LoadSurface(p, 0, surface.PaperStrides, surface.WorkingSets(units.KB/2, maxWS))
 }
 
 // TransferFigure regenerates one of the remote transfer surfaces
 // (Figures 2, 4, 5, 7, 8).
-func TransferFigure(m machine.Machine, mode machine.Mode, maxWS units.Bytes) (*surface.Surface, error) {
-	partner := machine.PreferredPartner(m)
-	return bench.TransferSurface(m, 0, partner, mode, surface.PaperStrides,
+func TransferFigure(p *sweep.Pool, mode machine.Mode, maxWS units.Bytes) (*surface.Surface, error) {
+	partner := machine.PreferredPartner(p.Machine())
+	return bench.TransferSurface(p, 0, partner, mode, surface.PaperStrides,
 		surface.WorkingSets(units.KB/2, maxWS))
 }
 
 // CopyFigure regenerates one of the local copy figures (9-11).
-func CopyFigure(m machine.Machine) (stridedLoads, stridedStores *surface.Curve) {
-	return bench.CopyCurve(m, 0, 64*units.MB, surface.CopyStrides, true),
-		bench.CopyCurve(m, 0, 64*units.MB, surface.CopyStrides, false)
+func CopyFigure(p *sweep.Pool) (stridedLoads, stridedStores *surface.Curve) {
+	return bench.CopyCurve(p, 0, 64*units.MB, surface.CopyStrides, true),
+		bench.CopyCurve(p, 0, 64*units.MB, surface.CopyStrides, false)
 }
 
 // RemoteCopyFigure regenerates one of the remote copy figures (12-14).
-func RemoteCopyFigure(m machine.Machine) ([]*surface.Curve, error) {
-	partner := machine.PreferredPartner(m)
+func RemoteCopyFigure(p *sweep.Pool) ([]*surface.Curve, error) {
+	partner := machine.PreferredPartner(p.Machine())
 	var out []*surface.Curve
-	if _, ok := m.(*machine.SMP); ok {
-		c, err := bench.TransferCurve(m, 0, partner, 64*units.MB, surface.CopyStrides,
+	if _, ok := p.Machine().(*machine.SMP); ok {
+		c, err := bench.TransferCurve(p, 0, partner, 64*units.MB, surface.CopyStrides,
 			machine.Fetch, true, false)
 		if err != nil {
 			return nil, err
 		}
 		return []*surface.Curve{c}, nil
 	}
-	a, err := bench.TransferCurve(m, 0, partner, 64*units.MB, surface.CopyStrides,
+	a, err := bench.TransferCurve(p, 0, partner, 64*units.MB, surface.CopyStrides,
 		machine.Deposit, true, false)
 	if err != nil {
 		return nil, err
 	}
-	bcurve, err := bench.TransferCurve(m, 0, partner, 64*units.MB, surface.CopyStrides,
+	bcurve, err := bench.TransferCurve(p, 0, partner, 64*units.MB, surface.CopyStrides,
 		machine.Deposit, false, false)
 	if err != nil {
 		return nil, err
 	}
 	out = append(out, a, bcurve)
 	// The fetch curve (figures 4/7 cross-check at large WS).
-	if c, err := bench.TransferCurve(m, 0, partner, 64*units.MB, surface.CopyStrides,
+	if c, err := bench.TransferCurve(p, 0, partner, 64*units.MB, surface.CopyStrides,
 		machine.Fetch, true, false); err == nil {
 		out = append(out, c)
 	}

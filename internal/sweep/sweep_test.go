@@ -1,0 +1,126 @@
+package sweep_test
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/bench"
+	"repro/internal/machine"
+	"repro/internal/sweep"
+	"repro/internal/units"
+)
+
+func t3e() machine.Machine { return machine.NewT3E(1) }
+
+func TestRunCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 7} {
+		p := sweep.NewPool(t3e, workers)
+		const n = 23
+		hits := make([]int32, n)
+		err := p.Run(n, func(m machine.Machine, i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Errorf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+		if p.Points() != n {
+			t.Errorf("workers=%d: Points() = %d, want %d", workers, p.Points(), n)
+		}
+	}
+}
+
+func TestRunReturnsLowestIndexError(t *testing.T) {
+	want := errors.New("boom 3")
+	for _, workers := range []int{1, 4} {
+		p := sweep.NewPool(t3e, workers)
+		err := p.Run(10, func(m machine.Machine, i int) error {
+			if i == 7 {
+				return errors.New("boom 7")
+			}
+			if i == 3 {
+				return want
+			}
+			return nil
+		})
+		if err == nil || err.Error() != want.Error() {
+			t.Errorf("workers=%d: err = %v, want %v", workers, err, want)
+		}
+	}
+}
+
+func TestSeqRunsInlineInOrder(t *testing.T) {
+	m := machine.NewT3E(1)
+	p := sweep.Seq(m)
+	if p.Workers() != 1 {
+		t.Fatalf("Seq pool width = %d, want 1", p.Workers())
+	}
+	if p.Machine() != m {
+		t.Fatal("Seq pool must expose the wrapped machine")
+	}
+	var order []int
+	err := p.Run(5, func(got machine.Machine, i int) error {
+		if got != m {
+			t.Fatal("Seq kernel must receive the wrapped machine")
+		}
+		order = append(order, i)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("sequential order = %v", order)
+		}
+	}
+}
+
+func TestSeqFailsFast(t *testing.T) {
+	p := sweep.Seq(machine.NewT3E(1))
+	ran := 0
+	err := p.Run(5, func(m machine.Machine, i int) error {
+		ran++
+		if i == 1 {
+			return fmt.Errorf("stop at %d", i)
+		}
+		return nil
+	})
+	if err == nil || ran != 2 {
+		t.Fatalf("ran %d kernels before err %v, want fail-fast after 2", ran, err)
+	}
+}
+
+// TestParallelMatchesSequential is the determinism contract end to
+// end: a real bandwidth sweep fanned over four workers must be
+// bit-identical to the single-worker legacy path.
+func TestParallelMatchesSequential(t *testing.T) {
+	strides := []int{1, 2, 16, 31}
+	measure := func(workers int) []units.BytesPerSec {
+		p := sweep.NewPool(t3e, workers)
+		bw := make([]units.BytesPerSec, len(strides))
+		if err := p.Run(len(strides), func(m machine.Machine, i int) error {
+			bw[i] = bench.LoadSum(m, 0, access.Pattern{
+				Base: machine.LocalBase(0), WorkingSet: 64 * units.KB, Stride: strides[i]})
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return bw
+	}
+	seq := measure(1)
+	par := measure(4)
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Errorf("stride %d: sequential %v != parallel %v", strides[i], seq[i], par[i])
+		}
+	}
+}

@@ -47,6 +47,14 @@ type Network struct {
 	links [3][2][]sim.Resource
 	nis   []sim.Resource
 
+	// plans caches the dimension-order route for each (src, dst)
+	// pair: the topology is static, and Send is called once per
+	// message on the transfer hot path. plans[src*n+dst] is nil
+	// until first use; planOK marks computed entries (a same-node
+	// route is a valid empty plan).
+	plans  [][][3]int
+	planOK []bool
+
 	// MessagesSent and BytesSent count injected traffic.
 	MessagesSent int64
 	BytesSent    units.Bytes
@@ -75,6 +83,8 @@ func New(cfg Config) *Network {
 		nis = (n + 1) / 2
 	}
 	net.nis = make([]sim.Resource, nis)
+	net.plans = make([][][3]int, n*n)
+	net.planOK = make([]bool, n*n)
 	return net
 }
 
@@ -100,10 +110,24 @@ func (net *Network) ni(id int) int {
 	return id
 }
 
-// hopPlan computes the dimension-order route from src to dst as a
+// hopPlan returns the dimension-order route from src to dst as a
 // sequence of (dim, dir, fromNode) link traversals, taking the
-// shorter way around each torus ring.
+// shorter way around each torus ring. Routes are computed once per
+// (src, dst) pair and cached: the topology never changes, so Reset
+// leaves the cache alone.
 func (net *Network) hopPlan(src, dst int) [][3]int {
+	key := src*net.NumNodes() + dst
+	if net.planOK[key] {
+		return net.plans[key]
+	}
+	plan := net.computePlan(src, dst)
+	net.plans[key] = plan
+	net.planOK[key] = true
+	return plan
+}
+
+// computePlan builds the route cached by hopPlan.
+func (net *Network) computePlan(src, dst int) [][3]int {
 	dims := [3]int{net.cfg.X, net.cfg.Y, net.cfg.Z}
 	var sc, dc [3]int
 	sc[0], sc[1], sc[2] = net.coords(src)

@@ -4,7 +4,12 @@
 // that a mixed-up unit is a type error, not a silent miscalibration.
 package units
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
 
 // Time is a point (or span) of simulated time in nanoseconds.
 // Simulated time is completely decoupled from host wall-clock time;
@@ -87,6 +92,42 @@ func (b Bytes) String() string {
 	default:
 		return fmt.Sprintf("%dB", int64(b))
 	}
+}
+
+// ParseBytes parses a human-readable size: a plain byte count
+// ("8388608") or a decimal number with a case-insensitive K/M/G
+// power-of-two suffix ("8M", "512K", ".5k"), optionally followed by
+// "B" ("8MB"). It inverts Bytes.String for every size the paper's
+// axes use.
+func ParseBytes(s string) (Bytes, error) {
+	t := strings.TrimSpace(s)
+	u := strings.ToUpper(t)
+	if strings.HasSuffix(u, "B") {
+		u = u[:len(u)-1]
+	}
+	mult := Bytes(1)
+	if n := len(u); n > 0 {
+		switch u[n-1] {
+		case 'K':
+			mult, u = KB, u[:n-1]
+		case 'M':
+			mult, u = MB, u[:n-1]
+		case 'G':
+			mult, u = GB, u[:n-1]
+		}
+	}
+	if u == "" {
+		return 0, fmt.Errorf("units: invalid size %q", s)
+	}
+	v, err := strconv.ParseFloat(u, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("units: invalid size %q", s)
+	}
+	b := v * float64(mult)
+	if b != math.Trunc(b) {
+		return 0, fmt.Errorf("units: size %q is not a whole number of bytes", s)
+	}
+	return Bytes(b), nil
 }
 
 // BytesPerSec is a bandwidth. The paper reports MByte/s.

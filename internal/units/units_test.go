@@ -219,3 +219,41 @@ func TestMBpsRoundTrip(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestParseBytes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Bytes
+	}{
+		{"8M", 8 * MB},
+		{"512K", 512 * KB},
+		{"8388608", 8 * MB},
+		{"8MB", 8 * MB},
+		{"512k", 512 * KB},
+		{"1G", GB},
+		{"2gb", 2 * GB},
+		{".5k", KB / 2},
+		{"0.5K", KB / 2},
+		{" 64K ", 64 * KB},
+		{"0", 0},
+		{"1b", 1},
+	}
+	for _, c := range cases {
+		got, err := ParseBytes(c.in)
+		if err != nil {
+			t.Errorf("ParseBytes(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseBytes(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseBytesRejects(t *testing.T) {
+	for _, in := range []string{"", "K", "8Q", "-1K", "abc", "1.5", "0.3K", "8 M M"} {
+		if got, err := ParseBytes(in); err == nil {
+			t.Errorf("ParseBytes(%q) = %v, want error", in, got)
+		}
+	}
+}

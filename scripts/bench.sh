@@ -1,0 +1,59 @@
+#!/bin/sh
+# scripts/bench.sh — time the full figure sweep sequentially and in
+# parallel, verify the artifacts are byte-identical, and record the
+# result in BENCH_sweeps.json (wall-clock seconds and grid points per
+# second for each worker count).
+#
+# Run it from the repository root: ./scripts/bench.sh [jobs]
+# `jobs` defaults to the host's logical CPU count.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)}"
+OUT="BENCH_sweeps.json"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+echo "== building figures =="
+go build -o "$TMP/figures" ./cmd/figures
+
+# run DIR JOBS — run the full sweep, print elapsed seconds on stdout,
+# and leave the "swept N grid points" count in DIR/points.
+run() {
+    dir="$1" jobs="$2"
+    start=$(date +%s.%N)
+    "$TMP/figures" -all -out "$dir" -j "$jobs" >"$dir.stdout" 2>"$dir.stderr"
+    end=$(date +%s.%N)
+    sed -n 's/^swept \([0-9]*\) grid points$/\1/p' "$dir.stderr" >"$dir.points"
+    echo "$start $end" | awk '{printf "%.2f", $2 - $1}'
+}
+
+echo "== figures -all -j 1 =="
+T1=$(run "$TMP/seq" 1)
+echo "   ${T1}s"
+
+echo "== figures -all -j $JOBS =="
+TN=$(run "$TMP/par" "$JOBS")
+echo "   ${TN}s"
+
+echo "== verifying determinism =="
+diff -r "$TMP/seq" "$TMP/par"
+cmp "$TMP/seq.stdout" "$TMP/par.stdout"
+echo "   artifacts byte-identical across worker counts"
+
+POINTS=$(cat "$TMP/seq.points")
+awk -v t1="$T1" -v tn="$TN" -v jobs="$JOBS" -v points="$POINTS" \
+    -v cpus="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)" 'BEGIN {
+    printf "{\n"
+    printf "  \"benchmark\": \"figures -all (figures 1-17 + tables A-C)\",\n"
+    printf "  \"host_cpus\": %d,\n", cpus
+    printf "  \"grid_points\": %d,\n", points
+    printf "  \"seq\": {\"jobs\": 1, \"seconds\": %.2f, \"points_per_sec\": %.1f},\n", t1, points / t1
+    printf "  \"par\": {\"jobs\": %d, \"seconds\": %.2f, \"points_per_sec\": %.1f},\n", jobs, tn, points / tn
+    printf "  \"speedup\": %.2f\n", t1 / tn
+    printf "}\n"
+}' >"$OUT"
+
+echo "== $OUT =="
+cat "$OUT"
