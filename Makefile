@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the pre-commit gate.
 
-.PHONY: build test check lint fmt figures bench
+.PHONY: build test check lint lint-fix fmt figures bench
 
 build:
 	go build ./...
@@ -16,6 +16,12 @@ check:
 # lint runs only the domain-specific analyzers.
 lint:
 	go run ./cmd/simlint ./...
+
+# lint-fix applies simlint's suggested fixes in place (insert `_ =`,
+# rewrite worker appends as writes-by-index, zero forgotten fields in
+# ColdReset); output is always gofmt-clean.
+lint-fix:
+	go run ./cmd/simlint -fix ./...
 
 fmt:
 	gofmt -w .

@@ -4,12 +4,17 @@
 //	simlint ./...                 # whole module, human-readable
 //	simlint -json ./...           # machine-readable findings
 //	simlint -determinism=false .  # disable one analyzer
+//	simlint -fix ./...            # apply suggested fixes in place
+//	simlint -fix -dry-run ./...   # fail if fixes would apply
 //
-// Each analyzer has an enable flag named after it (default true).
-// Findings print as file:line:col: [analyzer] message. Exit status is
-// 0 when clean, 1 when any finding is reported, 2 on load or usage
-// errors. Suppress a finding with a `//simlint:ignore <analyzer>
-// <reason>` comment on the offending line or the line above.
+// Each analyzer has an enable flag named after it (default true);
+// retired analyzer names (cycledrop) remain as deprecated aliases for
+// their successors. Findings print as file:line:col: [analyzer]
+// message. Exit status is 0 when clean, 1 when any finding is
+// reported (or, under -fix -dry-run, when fixes would apply), 2 on
+// load or usage errors. Suppress a finding with a `//simlint:ignore
+// <analyzer> <reason>` comment on the offending line or the line
+// above.
 package main
 
 import (
@@ -28,9 +33,14 @@ func main() {
 
 func run() int {
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	fix := flag.Bool("fix", false, "apply suggested fixes to the source files")
+	dryRun := flag.Bool("dry-run", false, "with -fix: report fixes without writing, exit 1 if any would apply")
 	enabled := map[string]*bool{}
 	for _, a := range lint.All {
 		enabled[a.Name] = flag.Bool(a.Name, true, "enable the "+a.Name+" analyzer: "+a.Doc)
+	}
+	for old, a := range lint.Aliases() {
+		enabled[old] = flag.Bool(old, true, "deprecated alias for -"+a.Name)
 	}
 	flag.Parse()
 
@@ -38,9 +48,18 @@ func run() int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
+	// A deprecated alias flag set to false disables its successor.
+	off := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) {
+		if v, ok := enabled[f.Name]; ok && !*v {
+			if a := lint.ByName(f.Name); a != nil {
+				off[a.Name] = true
+			}
+		}
+	})
 	var analyzers []*lint.Analyzer
 	for _, a := range lint.All {
-		if *enabled[a.Name] {
+		if *enabled[a.Name] && !off[a.Name] {
 			analyzers = append(analyzers, a)
 		}
 	}
@@ -49,20 +68,47 @@ func run() int {
 		return 2
 	}
 
-	pkgs, err := lint.NewLoader().Load(patterns)
+	loader := lint.NewLoader()
+	pkgs, err := loader.Load(patterns)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simlint:", err)
 		return 2
 	}
 	diags := lint.Run(pkgs, analyzers)
 
+	if *fix || *dryRun {
+		res, err := lint.RenderFixes(loader.Fset, diags)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			return 2
+		}
+		if *dryRun {
+			if res.Applied > 0 {
+				for _, d := range diags {
+					if d.Fix != nil {
+						fmt.Fprintf(os.Stderr, "simlint: would fix %s (%s)\n", rel(d.File), d.Fix.Description)
+					}
+				}
+				fmt.Fprintf(os.Stderr, "simlint: %d fix(es) would apply; run simlint -fix\n", res.Applied)
+				return 1
+			}
+			return 0
+		}
+		if err := res.WriteFixes(); err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "simlint: applied %d fix(es) in %d file(s)\n", res.Applied, len(res.Files))
+		return 0
+	}
+
 	// Paths relative to the working directory read better and keep
 	// output independent of where the checkout lives.
-	if wd, err := os.Getwd(); err == nil {
-		for i := range diags {
-			if rel, err := filepath.Rel(wd, diags[i].File); err == nil &&
-				!filepath.IsAbs(rel) && rel != "" {
-				diags[i].File = rel
+	for i := range diags {
+		diags[i].File = rel(diags[i].File)
+		if diags[i].Fix != nil {
+			for j := range diags[i].Fix.Edits {
+				diags[i].Fix.Edits[j].File = rel(diags[i].Fix.Edits[j].File)
 			}
 		}
 	}
@@ -89,4 +135,17 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// rel shortens an absolute path to one relative to the working
+// directory when that stays inside it.
+func rel(path string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return path
+	}
+	if r, err := filepath.Rel(wd, path); err == nil && !filepath.IsAbs(r) && r != "" {
+		return r
+	}
+	return path
 }

@@ -297,7 +297,14 @@ func (c *Cache) InvalidateAll() {
 			c.sets[s][i] = line{}
 		}
 	}
+	// Every line's lastUse is now zero, so the LRU clock may restart
+	// from zero too; leaving it warm would let tick values leak from
+	// one sweep point into the next.
+	c.tick = 0
 }
+
+// ResetStats zeroes the access counters without touching lines.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
 
 // SetDirty marks the line containing a dirty if present, reporting
 // whether it was found (a victim from the level above landed in this

@@ -1,0 +1,53 @@
+package cache
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/units"
+)
+
+// TestInvalidateAllColdIdentical is the regression test for the
+// statereset finding on Cache.tick: after InvalidateAll (plus a stats
+// reset), a rerun of the same access sequence must produce
+// byte-identical hit/miss outcomes and counters. Before the fix the
+// LRU clock survived invalidation, so replacement decisions — and
+// with them the timing surface — depended on what ran before.
+func TestInvalidateAllColdIdentical(t *testing.T) {
+	run := func(c *Cache) ([]Result, Stats) {
+		var results []Result
+		// Working set over capacity with a conflict-heavy stride so
+		// LRU replacement (driven by tick) actually decides victims.
+		p := access.Pattern{WorkingSet: 256 * units.KB, Stride: 5}
+		p.Walk(func(a access.Addr, _ bool) {
+			results = append(results, c.Access(a, a%3 == 0))
+		})
+		return results, c.Stats()
+	}
+
+	c := ev5L2() // 3-way: replacement order matters
+	first, firstStats := run(c)
+	c.InvalidateAll()
+	c.ResetStats()
+	// The LRU clock must restart with the lines: a warm tick is
+	// invisible to a single rerun (LRU only compares relative
+	// lastUse values) but leaks sweep history into the line state.
+	if c.tick != 0 {
+		t.Fatalf("InvalidateAll left the LRU clock at %d", c.tick)
+	}
+	second, secondStats := run(c)
+
+	if !reflect.DeepEqual(first, second) {
+		for i := range first {
+			if first[i] != second[i] {
+				t.Fatalf("access %d diverges after InvalidateAll: first %+v, second %+v",
+					i, first[i], second[i])
+			}
+		}
+	}
+	if firstStats != secondStats {
+		t.Errorf("stats diverge across cold runs: first %+v, second %+v",
+			firstStats, secondStats)
+	}
+}

@@ -110,9 +110,14 @@ func (w *WriteBuffer) Flush(now units.Time, t DrainTarget) units.Time {
 	return done
 }
 
-// Reset clears all buffered state between benchmark passes.
+// Reset clears all buffered state between benchmark passes. The open
+// window's base/end/time are guarded by openValid, but they are zeroed
+// anyway so two cold starts are bit-identical.
 func (w *WriteBuffer) Reset() {
 	w.openValid = false
+	w.openBase = 0
+	w.openEnd = 0
+	w.openAt = 0
 	w.inflight = w.inflight[:0]
 	w.Drained = 0
 	w.DrainedBytes = 0

@@ -27,7 +27,7 @@ type Controller struct {
 	// mem is the shared DRAM, modelled as a node without caches.
 	mem *node.Node
 	// nodes are the snooping processors.
-	nodes []*node.Node
+	nodes []*node.Node //simlint:ignore statereset wiring installed once via Attach at machine construction
 
 	// Pulls counts fills satisfied by cache-to-cache intervention.
 	Pulls int64

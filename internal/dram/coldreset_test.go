@@ -1,0 +1,44 @@
+package dram
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/units"
+)
+
+// TestResetColdIdentical is the regression test for the statereset
+// finding on DRAM.stats: Reset plus ResetStats must put the bank
+// system back into its construction state, so a rerun of the same
+// access sequence completes at byte-identical times with identical
+// counters.
+func TestResetColdIdentical(t *testing.T) {
+	run := func(d *DRAM) ([]units.Time, Stats) {
+		var times []units.Time
+		now := units.Time(0)
+		// Mixed strides touch row hits, row misses, and bank
+		// conflicts; completion times depend on all warm state.
+		for i := 0; i < 256; i++ {
+			a := access.Addr((i * 72) % 8192)
+			done := d.Access(a, 8, now)
+			times = append(times, done)
+			now += 10
+		}
+		return times, d.Stats()
+	}
+
+	d := fourBank()
+	first, firstStats := run(d)
+	d.Reset()
+	d.ResetStats()
+	second, secondStats := run(d)
+
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("completion times diverge across Reset")
+	}
+	if firstStats != secondStats {
+		t.Errorf("stats diverge across Reset: first %+v, second %+v",
+			firstStats, secondStats)
+	}
+}

@@ -1,0 +1,278 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file builds the module-wide index behind the interprocedural
+// analyzers (cycleflow, statereset): a function table, a static call
+// graph, and a struct/field table, all spanning every package of one
+// Run.
+//
+// The loader type-checks each package independently, so the same
+// function is represented by *different* *types.Func objects when
+// seen from its own package and from an importer's package. The index
+// therefore keys everything by stable strings — "pkgpath.Recv.Name"
+// for functions, "pkgpath.Type" for types — which are identical in
+// every type-check universe.
+
+// FuncInfo is one module function or method with its syntax.
+type FuncInfo struct {
+	Key  string // "repro/internal/node.Node.ResetTiming"
+	Decl *ast.FuncDecl
+	Pkg  *Package
+	// RecvType is the receiver's named-type key ("" for plain
+	// functions).
+	RecvType string
+}
+
+// Index is the module-wide view shared by interprocedural analyzers.
+type Index struct {
+	funcs map[string]*FuncInfo
+	// callees caches resolved static call edges per function key.
+	callees map[string][]string
+	// structs maps a named-type key to its declaration.
+	structs map[string]*StructInfo
+}
+
+// StructInfo is one named struct type's declaration site.
+type StructInfo struct {
+	Key  string
+	Spec *ast.TypeSpec
+	Type *ast.StructType
+	Pkg  *Package
+}
+
+// typeKey renders the stable key of a named type, dereferencing
+// pointers; "" when t is not (a pointer to) a named type.
+func typeKey(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj() == nil {
+		return ""
+	}
+	if n.Obj().Pkg() == nil {
+		return n.Obj().Name() // universe scope (error)
+	}
+	return n.Obj().Pkg().Path() + "." + n.Obj().Name()
+}
+
+// funcKey renders the stable key of a function or method; "" when f
+// is nil.
+func funcKey(f *types.Func) string {
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	if recv := sig.Recv(); recv != nil {
+		if rk := typeKey(recv.Type()); rk != "" {
+			return rk + "." + f.Name()
+		}
+		return "" // method on an unnamed or interface receiver
+	}
+	return f.Pkg().Path() + "." + f.Name()
+}
+
+// buildIndex indexes every function declaration and struct type of
+// the loaded packages.
+func buildIndex(pkgs []*Package) *Index {
+	ix := &Index{
+		funcs:   map[string]*FuncInfo{},
+		callees: map[string][]string{},
+		structs: map[string]*StructInfo{},
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					obj, _ := pkg.Info.Defs[d.Name].(*types.Func)
+					key := funcKey(obj)
+					if key == "" || d.Body == nil {
+						continue
+					}
+					fi := &FuncInfo{Key: key, Decl: d, Pkg: pkg}
+					if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+						fi.RecvType = typeKey(sig.Recv().Type())
+					}
+					ix.funcs[key] = fi
+				case *ast.GenDecl:
+					for _, spec := range d.Specs {
+						ts, ok := spec.(*ast.TypeSpec)
+						if !ok {
+							continue
+						}
+						st, ok := ts.Type.(*ast.StructType)
+						if !ok {
+							continue
+						}
+						key := pkg.Pkg.Path() + "." + ts.Name.Name
+						ix.structs[key] = &StructInfo{Key: key, Spec: ts, Type: st, Pkg: pkg}
+					}
+				}
+			}
+		}
+	}
+	return ix
+}
+
+// Func returns the module function with the given key, or nil.
+func (ix *Index) Func(key string) *FuncInfo { return ix.funcs[key] }
+
+// Struct returns the module struct type with the given key, or nil.
+func (ix *Index) Struct(key string) *StructInfo { return ix.structs[key] }
+
+// Funcs returns every indexed function, sorted by key for
+// deterministic iteration.
+func (ix *Index) Funcs() []*FuncInfo {
+	out := make([]*FuncInfo, len(ix.funcs))
+	i := 0
+	for _, fi := range ix.funcs {
+		out[i] = fi
+		i++
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// calleeOf resolves the static callee of a call expression within
+// pkg, or nil: direct function calls, method calls on concrete
+// receivers, and package-qualified calls. Calls through function
+// values, interfaces, or builtins do not resolve.
+func calleeOf(pkg *Package, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := pkg.Info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				if _, isIface := sel.Recv().Underlying().(*types.Interface); isIface {
+					return nil // dynamic dispatch
+				}
+				return f
+			}
+			return nil
+		}
+		// Package-qualified: pkg.Func.
+		f, _ := pkg.Info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// Callees returns the keys of the module functions statically called
+// from fi's body, in source order (cached).
+func (ix *Index) Callees(fi *FuncInfo) []string {
+	if out, ok := ix.callees[fi.Key]; ok {
+		return out
+	}
+	var out []string
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		key := funcKey(calleeOf(fi.Pkg, call))
+		if key != "" && ix.funcs[key] != nil {
+			out = append(out, key)
+		}
+		return true
+	})
+	ix.callees[fi.Key] = out
+	return out
+}
+
+// Closure returns the set of function keys reachable from the given
+// roots over static call edges (the roots included).
+func (ix *Index) Closure(roots []string) map[string]bool {
+	seen := map[string]bool{}
+	work := append([]string(nil), roots...)
+	for len(work) > 0 {
+		key := work[len(work)-1]
+		work = work[:len(work)-1]
+		if seen[key] || ix.funcs[key] == nil {
+			continue
+		}
+		seen[key] = true
+		work = append(work, ix.Callees(ix.funcs[key])...)
+	}
+	return seen
+}
+
+// unitTypeName reports whether t is (an instance of) the named unit
+// type from internal/units with the given name, across type-check
+// universes.
+func unitTypeName(t types.Type, name string) bool {
+	n, ok := unitType(t)
+	return ok && n.Obj().Name() == name
+}
+
+// costType reports whether t carries simulated cost (units.Time or
+// units.Flops). Bandwidths and sizes are reports about state, not
+// accumulating costs.
+func costType(t types.Type) (*types.Named, bool) {
+	if n, ok := unitType(t); ok {
+		switch n.Obj().Name() {
+		case "Time", "Flops":
+			return n, true
+		}
+	}
+	return nil, false
+}
+
+// selectorRoot unwraps index, star, and paren expressions around a
+// selector chain: n.fills[i] -> the selector n.fills. Returns nil
+// when e does not bottom out in a selector.
+func selectorRoot(e ast.Expr) *ast.SelectorExpr {
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			return x
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// fieldRef resolves a selector to a (struct-type key, field name)
+// pair when it selects a struct field; ok is false for method
+// selections and package qualifiers.
+func fieldRef(pkg *Package, sel *ast.SelectorExpr) (tkey, field string, ok bool) {
+	s, found := pkg.Info.Selections[sel]
+	if !found || s.Kind() != types.FieldVal {
+		return "", "", false
+	}
+	// The field must be declared on the base named struct itself
+	// (promoted fields of embedded types belong to the embedded
+	// type's reset story).
+	if len(s.Index()) != 1 {
+		return "", "", false
+	}
+	tkey = typeKey(s.Recv())
+	if tkey == "" {
+		return "", "", false
+	}
+	return tkey, sel.Sel.Name, true
+}
+
+// isUnitsModulePath reports whether the path suffix identifies a
+// simulation package (internal/... or cmd/...) — shared gate for the
+// analyzers that only apply to simulator code.
+func isSimPath(path string) bool {
+	return strings.Contains(path, "internal/") || strings.Contains(path, "cmd/")
+}

@@ -1,0 +1,336 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Cycleflow tracks simulated-cost values — units.Time (latency,
+// occupancy) and units.Flops (work) — across call boundaries and
+// flags the three ways a computed cost can silently vanish before
+// reaching an accumulator:
+//
+//  1. a call statement discards a cost-carrying result (v1's
+//     cycledrop check, which this analyzer subsumes);
+//  2. a cost-typed local accumulates values but never escapes the
+//     function — it is never returned, stored outward, or passed on,
+//     only fed back into itself (`total += step()` ... and then
+//     nothing); the compiler accepts this because compound
+//     assignment counts as a use;
+//  3. a cost value is passed to a function whose corresponding
+//     parameter is never read — resolved through the module-wide
+//     call graph, so the drop is caught even when caller and callee
+//     live in different packages.
+//
+// Discarding must be spelled `_ = f(...)` (or a `_` parameter name on
+// the callee) so the decision is visible in review.
+var Cycleflow = &Analyzer{
+	Name: "cycleflow",
+	Doc: "interprocedural cost-flow: flag dropped units.Time/Flops " +
+		"results, cost locals that never escape, and cost arguments " +
+		"ignored by the callee",
+	Severity:  SeverityError,
+	RunModule: runCycleflow,
+}
+
+func runCycleflow(p *ModulePass) {
+	ignored := collectIgnoredParams(p)
+	for _, pkg := range p.Pkgs {
+		for _, f := range pkg.Files {
+			checkDroppedResults(p, pkg, f)
+		}
+	}
+	for _, fi := range p.Index.Funcs() {
+		checkDeadCostLocals(p, fi)
+		checkIgnoredCostArgs(p, fi, ignored)
+	}
+}
+
+// ---- check 1: discarded cost results ----
+
+func checkDroppedResults(p *ModulePass, pkg *Package, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		var call *ast.CallExpr
+		verb := "discards"
+		fixable := false
+		switch s := n.(type) {
+		case *ast.ExprStmt:
+			call, _ = s.X.(*ast.CallExpr)
+			fixable = true
+		case *ast.GoStmt:
+			call, verb = s.Call, "go-statement discards"
+		case *ast.DeferStmt:
+			call, verb = s.Call, "defer discards"
+		}
+		if call == nil {
+			return true
+		}
+		if _, conv := isConversion(pkg.Info, call); conv {
+			return true
+		}
+		tn := costResult(pkg.Info.TypeOf(call))
+		if tn == nil {
+			return true
+		}
+		var fix *SuggestedFix
+		if fixable {
+			fix = &SuggestedFix{
+				Description: "assign the result to _ so the dropped cost is explicit",
+				Edits:       []TextEdit{{Pos: call.Pos(), End: call.Pos(), NewText: "_ = "}},
+			}
+		}
+		pass := Pass{Fset: p.Fset, analyzer: p.analyzer, sink: p.sink}
+		pass.Report(call.Pos(), fix,
+			"%s a %s result — dropped simulated cost; assign to _ if intentional",
+			verb, unitName(tn))
+		return true
+	})
+}
+
+// costResult returns the first cost-carrying unit type (Time or
+// Flops) among t's components, or nil. Bandwidths and sizes are
+// reports about state, not accumulating costs, and may be dropped.
+func costResult(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if tn, ok := costType(tuple.At(i).Type()); ok {
+				return tn
+			}
+		}
+		return nil
+	}
+	tn, _ := costType(t)
+	return tn
+}
+
+// ---- check 2: cost locals that never escape ----
+
+// localUse tallies how a cost-typed local is used.
+type localUse struct {
+	decl     token.Pos
+	name     string
+	unit     string
+	writes   int // assignments into the local (incl. compound)
+	selfFeed int // reads that only feed the local itself
+	escapes  int // reads that carry the value somewhere else
+	discards int // explicit `_ = t`
+}
+
+// checkDeadCostLocals flags cost-typed locals whose value never
+// leaves the function: every read feeds the local back into itself.
+func checkDeadCostLocals(p *ModulePass, fi *FuncInfo) {
+	pkg := fi.Pkg
+	locals := map[*types.Var]*localUse{}
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		if _, isSig := n.(*ast.FuncType); isSig {
+			return false // a func literal's params/results are not locals
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		v, ok := pkg.Info.Defs[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if tn, ok := costType(v.Type()); ok {
+			locals[v] = &localUse{decl: id.Pos(), name: id.Name, unit: unitName(tn)}
+		}
+		return true
+	})
+	if len(locals) == 0 {
+		return
+	}
+
+	var stack []ast.Node
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pkg.Info.Uses[id]
+		if obj == nil {
+			obj = pkg.Info.Defs[id]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return true
+		}
+		u, tracked := locals[v]
+		if !tracked {
+			return true
+		}
+		classifyUse(u, v, id, stack, pkg)
+		return true
+	})
+
+	for _, u := range locals {
+		if u.writes > 0 && u.escapes == 0 && u.discards == 0 {
+			p.Reportf(u.decl,
+				"%s local %q accumulates simulated cost that never escapes this function; return it, add it to an accumulator, or discard it explicitly with _ = %s",
+				u.unit, u.name, u.name)
+		}
+	}
+}
+
+// classifyUse decides what one appearance of a tracked local means,
+// looking outward through its ancestors. parents[len-1] is the ident
+// itself.
+func classifyUse(u *localUse, v *types.Var, id *ast.Ident, parents []ast.Node, pkg *Package) {
+	// Walk outward through pure value operators; anything else
+	// decides the classification.
+	for i := len(parents) - 2; i >= 0; i-- {
+		switch parent := parents[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.BinaryExpr:
+			continue
+		case *ast.UnaryExpr:
+			if parent.Op == token.AND {
+				u.escapes++ // address taken: anything can happen
+				return
+			}
+			continue
+		case *ast.IncDecStmt:
+			u.writes++
+			return
+		case *ast.AssignStmt:
+			for _, lhs := range parent.Lhs {
+				if lhs == parents[i+1] {
+					// The ident (or the operator chain it heads) is
+					// an assignment target. Compound tokens read and
+					// write, but the read feeds only the local.
+					u.writes++
+					return
+				}
+			}
+			// A read on the right-hand side. It stays internal only
+			// when the sole destination is the local itself or the
+			// blank identifier.
+			if len(parent.Lhs) == 1 {
+				if lid, ok := parent.Lhs[0].(*ast.Ident); ok {
+					if lid.Name == "_" {
+						u.discards++
+						return
+					}
+					if pkg.Info.Uses[lid] == v || pkg.Info.Defs[lid] == v {
+						u.selfFeed++
+						return
+					}
+				}
+			}
+			u.escapes++
+			return
+		default:
+			u.escapes++
+			return
+		}
+	}
+	u.escapes++
+}
+
+// ---- check 3: cost arguments the callee ignores ----
+
+// ignoredParam identifies one cost-typed parameter that its function
+// never reads.
+type ignoredParam struct {
+	index int
+	name  string
+	unit  string
+}
+
+// collectIgnoredParams scans every module function for cost-typed
+// parameters that the body never mentions. A parameter named `_` is
+// the sanctioned way to declare the drop and is not collected.
+func collectIgnoredParams(p *ModulePass) map[string][]ignoredParam {
+	out := map[string][]ignoredParam{}
+	for _, fi := range p.Index.Funcs() {
+		sig, ok := fi.Pkg.Info.Defs[fi.Decl.Name].Type().(*types.Signature)
+		if !ok || sig.Variadic() {
+			continue
+		}
+		var ignored []ignoredParam
+		for i := 0; i < sig.Params().Len(); i++ {
+			pv := sig.Params().At(i)
+			if pv.Name() == "" || pv.Name() == "_" {
+				continue
+			}
+			tn, isCost := costType(pv.Type())
+			if !isCost {
+				continue
+			}
+			if !paramRead(fi, pv) {
+				ignored = append(ignored, ignoredParam{index: i, name: pv.Name(), unit: unitName(tn)})
+			}
+		}
+		if len(ignored) > 0 {
+			out[fi.Key] = ignored
+		}
+	}
+	return out
+}
+
+// paramRead reports whether the parameter object pv appears anywhere
+// in fi's body.
+func paramRead(fi *FuncInfo, pv *types.Var) bool {
+	read := false
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		if read {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && fi.Pkg.Info.Uses[id] == pv {
+			read = true
+		}
+		return !read
+	})
+	return read
+}
+
+// checkIgnoredCostArgs flags call sites that pass a non-constant cost
+// value to a parameter the callee never reads.
+func checkIgnoredCostArgs(p *ModulePass, fi *FuncInfo, ignored map[string][]ignoredParam) {
+	pkg := fi.Pkg
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeOf(pkg, call)
+		key := funcKey(callee)
+		params := ignored[key]
+		if len(params) == 0 {
+			return true
+		}
+		// Method expressions (T.M(recv, ...)) shift the argument
+		// list; skip them rather than mis-index.
+		if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+			if sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr); isSel {
+				if _, isMethodCall := pkg.Info.Selections[sel]; !isMethodCall {
+					return true
+				}
+			}
+		}
+		for _, ip := range params {
+			if ip.index >= len(call.Args) {
+				continue
+			}
+			arg := call.Args[ip.index]
+			if tv, ok := pkg.Info.Types[arg]; ok && tv.Value != nil {
+				continue // constant cost is configuration, not computed cost
+			}
+			p.Reportf(arg.Pos(),
+				"%s argument is dropped: %s never reads parameter %q — the cost vanishes at this call site; rename the parameter _ if intentional",
+				ip.unit, callee.Name(), ip.name)
+		}
+		return true
+	})
+}

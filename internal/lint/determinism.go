@@ -18,20 +18,18 @@ import (
 //     depends on Go's randomized map order);
 //   - time.Now — wall-clock time must never leak into simulated time;
 //   - the global math/rand source (rand.Intn, rand.Float64, ...),
-//     which is unseeded; a seeded rand.New(rand.NewSource(s)) is fine;
-//   - `append` inside a `go func` literal to a slice captured from the
-//     spawning goroutine — concurrent sweeps must write results by
-//     point index, never append from goroutines, or element order
-//     follows the scheduler.
+//     which is unseeded; a seeded rand.New(rand.NewSource(s)) is fine.
 //
 // Order-insensitive map loops (integer counting, writes into another
 // map, pure reads) pass: the point is reproducible artifacts, not a
-// map ban.
+// map ban. Goroutine-capture hazards (v1's append check) now live in
+// the sweepsafe analyzer.
 var Determinism = &Analyzer{
 	Name: "determinism",
 	Doc: "flag order-dependent map iteration, wall-clock time, and " +
 		"unseeded randomness in simulation packages",
-	Run: runDeterminism,
+	Severity: SeverityError,
+	Run:      runDeterminism,
 }
 
 func runDeterminism(p *Pass) {
@@ -45,8 +43,6 @@ func runDeterminism(p *Pass) {
 				checkMapRange(p, n)
 			case *ast.SelectorExpr:
 				checkClockAndRand(p, n)
-			case *ast.GoStmt:
-				checkGoroutineAppend(p, n)
 			}
 			return true
 		})
@@ -103,41 +99,6 @@ func orderSensitive(p *Pass, body *ast.BlockStmt) string {
 		return reason == ""
 	})
 	return reason
-}
-
-// checkGoroutineAppend enforces the parallel-sweep contract: a
-// goroutine must write its results into caller-owned storage at the
-// point index, never by appending to a shared slice — append order
-// would follow goroutine scheduling (and unsynchronized appends race
-// on the slice header).
-func checkGoroutineAppend(p *Pass, g *ast.GoStmt) {
-	fn, ok := g.Call.Fun.(*ast.FuncLit)
-	if !ok {
-		return
-	}
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok || !isBuiltinAppend(p, call) || len(call.Args) == 0 {
-			return true
-		}
-		id, ok := call.Args[0].(*ast.Ident)
-		if !ok {
-			return true
-		}
-		v, ok := p.Info.Uses[id].(*types.Var)
-		if !ok {
-			return true
-		}
-		// A variable declared inside the literal (including its own
-		// parameters) is goroutine-private; only captures are shared.
-		if v.Pos() >= fn.Pos() && v.Pos() <= fn.End() {
-			return true
-		}
-		p.Reportf(call.Pos(),
-			"append to %q captured from the spawning goroutine; write results by index into a pre-sized slice instead",
-			id.Name)
-		return true
-	})
 }
 
 func isBuiltinAppend(p *Pass, call *ast.CallExpr) bool {

@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"fmt"
+	"go/format"
+	"go/token"
+	"os"
+	"sort"
+)
+
+// This file is the autofix engine behind `simlint -fix`: it turns the
+// SuggestedFix edits attached to diagnostics into new, gofmt-clean
+// file contents. The engine is deliberately conservative — a fix whose
+// edits overlap an already-accepted fix is dropped (first diagnostic
+// in report order wins), and a file whose patched form fails gofmt is
+// reported as an error rather than written.
+
+// FixResult is the outcome of rendering every applicable fix.
+type FixResult struct {
+	// Files maps an absolute filename to its fully patched,
+	// gofmt-formatted content.
+	Files map[string][]byte
+	// Applied counts the fixes folded into Files; Skipped counts the
+	// fixes dropped because their edits overlapped an earlier fix.
+	Applied int
+	Skipped int
+}
+
+// byteEdit is one TextEdit resolved to byte offsets within its file.
+type byteEdit struct {
+	start, end int
+	newText    string
+}
+
+// RenderFixes applies every suggested fix carried by diags and
+// returns the patched file contents without touching the filesystem.
+// Diags must come from a Run over the given FileSet.
+func RenderFixes(fset *token.FileSet, diags []Diagnostic) (*FixResult, error) {
+	perFile := map[string][]byteEdit{}
+	res := &FixResult{Files: map[string][]byte{}}
+	for _, d := range diags {
+		if d.Fix == nil || len(d.Fix.Edits) == 0 {
+			continue
+		}
+		resolved, ok := resolveEdits(fset, d.Fix.Edits, perFile)
+		if !ok {
+			res.Skipped++
+			continue
+		}
+		res.Applied++
+		for _, fe := range resolved {
+			perFile[fe.file] = append(perFile[fe.file], fe.edit)
+		}
+	}
+	for file, edits := range perFile {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		patched := applyEdits(src, edits)
+		formatted, err := format.Source(patched)
+		if err != nil {
+			return nil, fmt.Errorf("%s: fix result does not gofmt: %v", file, err)
+		}
+		res.Files[file] = formatted
+	}
+	return res, nil
+}
+
+// fileEdit pairs one resolved edit with its target file.
+type fileEdit struct {
+	file string
+	edit byteEdit
+}
+
+// resolveEdits converts one fix's edits to byte offsets, refusing the
+// whole fix when any edit overlaps one already accepted for its file.
+func resolveEdits(fset *token.FileSet, edits []TextEdit, accepted map[string][]byteEdit) ([]fileEdit, bool) {
+	var out []fileEdit
+	for _, e := range edits {
+		pos, end := fset.Position(e.Pos), fset.Position(e.End)
+		be := byteEdit{start: pos.Offset, end: end.Offset, newText: e.NewText}
+		if be.end < be.start {
+			return nil, false
+		}
+		for _, prev := range accepted[pos.Filename] {
+			if overlaps(be, prev) {
+				return nil, false
+			}
+		}
+		for _, prev := range out {
+			if prev.file == pos.Filename && overlaps(be, prev.edit) {
+				return nil, false
+			}
+		}
+		out = append(out, fileEdit{file: pos.Filename, edit: be})
+	}
+	return out, true
+}
+
+// overlaps reports whether two edits touch intersecting byte ranges.
+// Pure insertions (start == end) collide only at the same offset.
+func overlaps(a, b byteEdit) bool {
+	if a.start == a.end && b.start == b.end {
+		return a.start == b.start
+	}
+	return a.start < b.end && b.start < a.end ||
+		(a.start == a.end && b.start <= a.start && a.start < b.end) ||
+		(b.start == b.end && a.start <= b.start && b.start < a.end)
+}
+
+// applyEdits splices the edits into src, back to front so earlier
+// offsets stay valid.
+func applyEdits(src []byte, edits []byteEdit) []byte {
+	sorted := append([]byteEdit(nil), edits...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].start > sorted[j].start })
+	out := append([]byte(nil), src...)
+	for _, e := range sorted {
+		var buf []byte
+		buf = append(buf, out[:e.start]...)
+		buf = append(buf, e.newText...)
+		buf = append(buf, out[e.end:]...)
+		out = buf
+	}
+	return out
+}
+
+// WriteFixes writes the rendered contents back to disk.
+func (r *FixResult) WriteFixes() error {
+	files := make([]string, len(r.Files))
+	i := 0
+	for f := range r.Files {
+		files[i] = f
+		i++
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		info, err := os.Stat(f)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(f, r.Files[f], info.Mode().Perm()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

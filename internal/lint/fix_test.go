@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/format"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFixGolden renders `simlint -fix` output for the fix_bad fixture
+// and diffs it byte-for-byte against the checked-in golden file. The
+// fixture carries one of each fixable finding: a dropped cost result
+// (insert `_ = `), an append to a captured slice (rewrite as
+// write-by-index), and a field ColdReset forgets (append a zeroing
+// assignment).
+func TestFixGolden(t *testing.T) {
+	pkg := loadFixture(t, "fix_bad")
+	diags := Run([]*Package{pkg}, All)
+	res, err := RenderFixes(pkg.Fset, diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 3 {
+		t.Errorf("Applied = %d, want 3 (drop, append, statereset)", res.Applied)
+	}
+	if res.Skipped != 0 {
+		t.Errorf("Skipped = %d, want 0", res.Skipped)
+	}
+	if len(res.Files) != 1 {
+		t.Fatalf("patched %d files, want 1: %v", len(res.Files), res.Files)
+	}
+	var got []byte
+	for _, content := range res.Files {
+		got = content
+	}
+	// -fix output must be gofmt-clean.
+	formatted, err := format.Source(got)
+	if err != nil {
+		t.Fatalf("fix output does not parse: %v", err)
+	}
+	if !bytes.Equal(formatted, got) {
+		t.Errorf("fix output is not gofmt-clean")
+	}
+	goldenPath := filepath.Join("testdata", "golden", "fix_bad.go.golden")
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden: %v (regenerate with TestFixGolden after "+
+			"UPDATE_GOLDEN=1)", err)
+	}
+	if !bytes.Equal(got, want) {
+		if os.Getenv("UPDATE_GOLDEN") != "" {
+			if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("updated %s", goldenPath)
+			return
+		}
+		t.Errorf("fix output differs from golden %s\n--- got ---\n%s", goldenPath, got)
+	}
+}
+
+// TestFixRoundTrip: applying the fixes to a scratch copy and
+// re-running the analyzers must clear every fixable finding (the `_ =`
+// and write-by-index rewrites) — fixes may not fight the analyzers.
+func TestFixRoundTrip(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("testdata", "src", "fix_bad", "bad.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	scratch := filepath.Join(dir, "bad.go")
+	fixed := bytes.Replace(src, []byte("package fix_bad"), []byte("package fix_tmp"), 1)
+	if err := os.WriteFile(scratch, fixed, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loader := NewLoader()
+	pkg, err := loader.LoadDir(dir, "repro/internal/lint/testdata/src/fix_tmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run([]*Package{pkg}, All)
+	res, err := RenderFixes(pkg.Fset, diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.WriteFixes(); err != nil {
+		t.Fatal(err)
+	}
+	loader2 := NewLoader()
+	pkg2, err := loader2.LoadDir(dir, "repro/internal/lint/testdata/src/fix_tmp")
+	if err != nil {
+		t.Fatalf("fixed file does not type-check: %v", err)
+	}
+	res2, err := RenderFixes(loader2.Fset, Run([]*Package{pkg2}, All))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Applied != 0 {
+		t.Errorf("fixes remain after applying fixes: %d", res2.Applied)
+	}
+}
+
+// TestDiagnosticJSONSchema pins the -json contract: severity and
+// suggested_fix (with rendered positions) are part of the schema.
+func TestDiagnosticJSONSchema(t *testing.T) {
+	d := Diagnostic{
+		Analyzer: "cycleflow", Severity: SeverityError,
+		File: "x.go", Line: 3, Col: 2, Message: "dropped",
+		Fix: &SuggestedFix{
+			Description: "assign the result to _",
+			Edits: []TextEdit{{
+				NewText: "_ = ", File: "x.go", Line: 3, Col: 2, EndLine: 3, EndCol: 2,
+			}},
+		},
+	}
+	b, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`"analyzer":"cycleflow"`, `"severity":"error"`, `"file":"x.go"`,
+		`"suggested_fix"`, `"description"`, `"new_text":"_ = "`, `"end_line":3`,
+	} {
+		if !strings.Contains(string(b), want) {
+			t.Errorf("JSON %s missing %s", b, want)
+		}
+	}
+	// Without a fix the key disappears instead of emitting null.
+	d.Fix = nil
+	b, err = json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), "suggested_fix") {
+		t.Errorf("suggested_fix should be omitted when absent: %s", b)
+	}
+}

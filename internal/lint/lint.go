@@ -33,29 +33,90 @@ import (
 // Diagnostic is one finding, positioned at file:line:col.
 type Diagnostic struct {
 	Analyzer string         `json:"analyzer"`
+	Severity string         `json:"severity"`
 	Pos      token.Position `json:"-"`
 	File     string         `json:"file"`
 	Line     int            `json:"line"`
 	Col      int            `json:"col"`
 	Message  string         `json:"message"`
+	// Fix, when non-nil, is a mechanical correction simlint -fix can
+	// apply.
+	Fix *SuggestedFix `json:"suggested_fix,omitempty"`
 }
 
 func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
 }
 
-// Analyzer is one named check over a type-checked package.
+// SuggestedFix is a set of source edits that resolves a diagnostic.
+type SuggestedFix struct {
+	Description string     `json:"description"`
+	Edits       []TextEdit `json:"edits"`
+}
+
+// TextEdit replaces the source range [Pos, End) with NewText. Pos ==
+// End is a pure insertion.
+type TextEdit struct {
+	Pos     token.Pos `json:"-"`
+	End     token.Pos `json:"-"`
+	NewText string    `json:"new_text"`
+	// File/Line/Col/EndLine/EndCol are the rendered positions for
+	// JSON consumers, filled in by Run.
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	EndLine int    `json:"end_line"`
+	EndCol  int    `json:"end_col"`
+}
+
+// Severity levels: findings that make the simulator's numbers wrong
+// are errors; driver-level diagnostics (malformed directives) are
+// warnings. Both fail the run — severity labels impact, not exit
+// status.
+const (
+	SeverityError   = "error"
+	SeverityWarning = "warning"
+)
+
+// Analyzer is one named check. Run analyzers see one type-checked
+// package at a time; RunModule analyzers see every package of the
+// invocation at once (interprocedural checks). Exactly one of the two
+// is set.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+	Name      string
+	Doc       string
+	Severity  string
+	Run       func(*Pass)
+	RunModule func(*ModulePass)
 }
 
 // All lists every analyzer in the suite, in reporting order.
-var All = []*Analyzer{Unitsafe, Cycledrop, Determinism}
+var All = []*Analyzer{Unitsafe, Cycleflow, Statereset, Sweepsafe, Determinism}
 
-// ByName returns the analyzer with the given name, or nil.
+// aliases maps retired analyzer names to their successors, so old
+// //simlint:ignore directives and CLI flags keep working.
+var aliases = map[string]string{
+	"cycledrop": "cycleflow", // v1's intraprocedural check, subsumed by cycleflow
+}
+
+// Aliases returns the retired-name → successor mapping, for drivers
+// that keep deprecated flags alive.
+func Aliases() map[string]*Analyzer {
+	out := map[string]*Analyzer{}
+	for old, to := range aliases {
+		if a := ByName(to); a != nil {
+			out[old] = a
+		}
+	}
+	return out
+}
+
+// ByName returns the analyzer with the given (possibly deprecated)
+// name, or nil.
 func ByName(name string) *Analyzer {
+	if to, ok := aliases[name]; ok {
+		name = to
+	}
 	for _, a := range All {
 		if a.Name == name {
 			return a
@@ -78,30 +139,75 @@ type Pass struct {
 
 // Reportf records a diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(pos, nil, format, args...)
+}
+
+// Report records a diagnostic at pos with an optional suggested fix.
+func (p *Pass) Report(pos token.Pos, fix *SuggestedFix, format string, args ...any) {
 	position := p.Fset.Position(pos)
+	if fix != nil {
+		for i := range fix.Edits {
+			e := &fix.Edits[i]
+			pp, pe := p.Fset.Position(e.Pos), p.Fset.Position(e.End)
+			e.File, e.Line, e.Col = pp.Filename, pp.Line, pp.Column
+			e.EndLine, e.EndCol = pe.Line, pe.Column
+		}
+	}
 	*p.sink = append(*p.sink, Diagnostic{
 		Analyzer: p.analyzer.Name,
+		Severity: p.analyzer.Severity,
 		Pos:      position,
 		File:     position.Filename,
 		Line:     position.Line,
 		Col:      position.Column,
 		Message:  fmt.Sprintf(format, args...),
+		Fix:      fix,
 	})
 }
 
 // TypeOf is a nil-safe shorthand for Info.TypeOf.
 func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
 
+// ModulePass carries a module analyzer's view of every loaded
+// package at once, plus the interprocedural index.
+type ModulePass struct {
+	Fset  *token.FileSet
+	Pkgs  []*Package
+	Index *Index
+
+	analyzer *Analyzer
+	sink     *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(pos, nil, format, args...)
+}
+
+// Report records a diagnostic at pos with an optional suggested fix.
+func (p *ModulePass) Report(pos token.Pos, fix *SuggestedFix, format string, args ...any) {
+	pass := Pass{Fset: p.Fset, analyzer: p.analyzer, sink: p.sink}
+	pass.Report(pos, fix, format, args...)
+}
+
 // Run applies the analyzers to every package and returns the
 // surviving diagnostics (ignore directives applied), sorted by
-// position then analyzer.
+// position then analyzer. Package analyzers run per package; module
+// analyzers run once over the whole load with the shared index.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
+	var raw []Diagnostic
+	ig := ignoreSet{}
 	for _, pkg := range pkgs {
-		ig, bad := collectIgnores(pkg.Fset, pkg.Files)
+		pkgIg, bad := collectIgnores(pkg.Fset, pkg.Files)
 		diags = append(diags, bad...)
-		var raw []Diagnostic
+		for file, lines := range pkgIg {
+			ig[file] = lines
+		}
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Fset:     pkg.Fset,
 				Files:    pkg.Files,
@@ -113,10 +219,24 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			}
 			a.Run(pass)
 		}
-		for _, d := range raw {
-			if !ig.suppressed(d) {
-				diags = append(diags, d)
-			}
+	}
+	var ix *Index
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		if ix == nil {
+			ix = buildIndex(pkgs)
+		}
+		var fset *token.FileSet
+		if len(pkgs) > 0 {
+			fset = pkgs[0].Fset
+		}
+		a.RunModule(&ModulePass{Fset: fset, Pkgs: pkgs, Index: ix, analyzer: a, sink: &raw})
+	}
+	for _, d := range raw {
+		if !ig.suppressed(d) {
+			diags = append(diags, d)
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {
@@ -159,7 +279,7 @@ func collectIgnores(fset *token.FileSet, files []*ast.File) (ignoreSet, []Diagno
 	var bad []Diagnostic
 	report := func(pos token.Position, msg string) {
 		bad = append(bad, Diagnostic{
-			Analyzer: "simlint", Pos: pos,
+			Analyzer: "simlint", Severity: SeverityWarning, Pos: pos,
 			File: pos.Filename, Line: pos.Line, Col: pos.Column, Message: msg,
 		})
 	}
@@ -180,6 +300,10 @@ func collectIgnores(fset *token.FileSet, files []*ast.File) (ignoreSet, []Diagno
 				if name != "all" && ByName(name) == nil {
 					report(pos, fmt.Sprintf("simlint:ignore names unknown analyzer %q", name))
 					continue
+				}
+				// Retired analyzer names suppress their successor.
+				if a := ByName(name); a != nil {
+					name = a.Name
 				}
 				if len(fields) < 2 {
 					report(pos, fmt.Sprintf("simlint:ignore %s needs a reason", name))

@@ -68,9 +68,30 @@ func collectWants(t *testing.T, dir string) []*expectation {
 // diagnostics 1:1 against its want-markers (none, for *_ok packages).
 func testFixture(t *testing.T, name string, analyzers ...*Analyzer) {
 	t.Helper()
-	pkg := loadFixture(t, name)
-	diags := Run([]*Package{pkg}, analyzers)
-	wants := collectWants(t, pkg.Dir)
+	testFixtures(t, []string{name}, analyzers...)
+}
+
+// testFixtures loads several fixture packages into one Run — the
+// interprocedural analyzers need caller and callee together — and
+// matches diagnostics against the union of their want-markers.
+func testFixtures(t *testing.T, names []string, analyzers ...*Analyzer) {
+	t.Helper()
+	loader := NewLoader()
+	var pkgs []*Package
+	var wants []*expectation
+	for _, name := range names {
+		dir := filepath.Join("testdata", "src", name)
+		pkg, err := loader.LoadDir(dir, "repro/internal/lint/testdata/src/"+name)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", name, err)
+		}
+		if pkg == nil {
+			t.Fatalf("fixture %s has no Go files", name)
+		}
+		pkgs = append(pkgs, pkg)
+		wants = append(wants, collectWants(t, dir)...)
+	}
+	diags := Run(pkgs, analyzers)
 	for _, d := range diags {
 		found := false
 		for _, w := range wants {
@@ -94,24 +115,52 @@ func testFixture(t *testing.T, name string, analyzers ...*Analyzer) {
 
 func TestUnitsafeCatchesViolations(t *testing.T) { testFixture(t, "unitsafe_bad", Unitsafe) }
 func TestUnitsafeCleanPass(t *testing.T)         { testFixture(t, "unitsafe_ok", Unitsafe) }
-func TestCycledropCatchesViolations(t *testing.T) {
-	testFixture(t, "cycledrop_bad", Cycledrop)
+
+// Cycleflow's fixtures span two packages on purpose: the dropped
+// cross-package return, the dead cost local fed from another package,
+// and the ignored cost parameter are exactly what the retired
+// intraprocedural cycledrop could not see.
+func TestCycleflowCatchesViolations(t *testing.T) {
+	testFixtures(t, []string{"cycleflow_dep", "cycleflow_bad"}, Cycleflow)
 }
-func TestCycledropCleanPass(t *testing.T) { testFixture(t, "cycledrop_ok", Cycledrop) }
+func TestCycleflowCleanPass(t *testing.T) { testFixture(t, "cycleflow_ok", Cycleflow) }
+
+func TestStateresetCatchesViolations(t *testing.T) {
+	testFixture(t, "statereset_bad", Statereset)
+}
+func TestStateresetCleanPass(t *testing.T) { testFixture(t, "statereset_ok", Statereset) }
+
+func TestSweepsafeCatchesViolations(t *testing.T) {
+	testFixture(t, "sweepsafe_bad", Sweepsafe)
+}
+func TestSweepsafeCleanPass(t *testing.T) { testFixture(t, "sweepsafe_ok", Sweepsafe) }
+
 func TestDeterminismCatchesViolations(t *testing.T) {
 	testFixture(t, "determinism_bad", Determinism)
 }
 func TestDeterminismCleanPass(t *testing.T) { testFixture(t, "determinism_ok", Determinism) }
 
-// TestIgnoreDirectiveSuppresses proves the determinism_ok fixture's
-// sorted-keys loop only passes because of its directive.
-func TestIgnoreDirectiveSuppresses(t *testing.T) {
-	pkg := loadFixture(t, "determinism_ok")
-	diags := Run([]*Package{pkg}, []*Analyzer{Determinism})
-	if len(diags) != 0 {
-		t.Fatalf("directive did not suppress: %v", diags)
+// TestStateresetSeededBugFailsRun pins the acceptance criterion
+// directly: reintroducing the PR 2 write-combine bug (a ColdReset
+// that forgets run state) must make a simlint run report findings,
+// i.e. cmd/simlint exits non-zero.
+func TestStateresetSeededBugFailsRun(t *testing.T) {
+	pkg := loadFixture(t, "statereset_bad")
+	diags := Run([]*Package{pkg}, All)
+	if len(diags) == 0 {
+		t.Fatal("seeded ColdReset leak produced no findings; simlint would exit 0")
 	}
-	// Strip the directive comments and the finding must come back.
+	for _, d := range diags {
+		if d.Analyzer == "statereset" && strings.Contains(d.Message, "storeRun") {
+			return
+		}
+	}
+	t.Fatalf("no statereset finding names the leaked field, got %v", diags)
+}
+
+// stripDirectives removes every //simlint:ignore comment from the
+// package's syntax, reporting whether any were present.
+func stripDirectives(pkg *Package) bool {
 	found := false
 	for _, f := range pkg.Files {
 		cgs := f.Comments[:0]
@@ -131,12 +180,60 @@ func TestIgnoreDirectiveSuppresses(t *testing.T) {
 		}
 		f.Comments = cgs
 	}
-	if !found {
+	return found
+}
+
+// TestIgnoreDirectiveSuppresses proves the determinism_ok fixture's
+// sorted-keys loop only passes because of its directive.
+func TestIgnoreDirectiveSuppresses(t *testing.T) {
+	pkg := loadFixture(t, "determinism_ok")
+	diags := Run([]*Package{pkg}, []*Analyzer{Determinism})
+	if len(diags) != 0 {
+		t.Fatalf("directive did not suppress: %v", diags)
+	}
+	// Strip the directive comments and the finding must come back.
+	if !stripDirectives(pkg) {
 		t.Fatal("fixture lost its ignore directive")
 	}
 	diags = Run([]*Package{pkg}, []*Analyzer{Determinism})
 	if len(diags) != 1 || !strings.Contains(diags[0].Message, "appends to a slice") {
 		t.Fatalf("want exactly the suppressed finding back, got %v", diags)
+	}
+}
+
+// TestIgnoreAllAndMultiLineDirectives covers the blanket "all"
+// wildcard, a directive above a multi-line expression, and the
+// retired cycledrop name suppressing its successor.
+func TestIgnoreAllAndMultiLineDirectives(t *testing.T) {
+	pkg := loadFixture(t, "ignore_all")
+	diags := Run([]*Package{pkg}, All)
+	if len(diags) != 0 {
+		t.Fatalf("directives did not suppress: %v", diags)
+	}
+	if !stripDirectives(pkg) {
+		t.Fatal("fixture lost its directives")
+	}
+	diags = Run([]*Package{pkg}, All)
+	if len(diags) != 4 {
+		t.Fatalf("want the 4 suppressed findings back without directives, got %v", diags)
+	}
+	byAnalyzer := map[string]int{}
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer]++
+	}
+	if byAnalyzer["cycleflow"] != 3 || byAnalyzer["determinism"] != 1 {
+		t.Fatalf("want 3 cycleflow + 1 determinism, got %v", byAnalyzer)
+	}
+}
+
+// TestAnalyzerAliases: the retired cycledrop name resolves to
+// cycleflow everywhere a name is accepted.
+func TestAnalyzerAliases(t *testing.T) {
+	if a := ByName("cycledrop"); a == nil || a.Name != "cycleflow" {
+		t.Fatalf("ByName(cycledrop) = %v, want cycleflow", a)
+	}
+	if a := Aliases()["cycledrop"]; a == nil || a.Name != "cycleflow" {
+		t.Fatalf("Aliases()[cycledrop] = %v, want cycleflow", a)
 	}
 }
 

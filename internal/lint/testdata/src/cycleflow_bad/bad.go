@@ -1,0 +1,41 @@
+// Package cycleflow_bad drops simulated cost on the floor in every
+// way cycleflow knows about, including across package boundaries —
+// the cases the retired intraprocedural cycledrop could not see.
+package cycleflow_bad
+
+import (
+	"repro/internal/lint/testdata/src/cycleflow_dep"
+	"repro/internal/units"
+)
+
+func latency() units.Time { return 5 * units.Nanosecond }
+
+func work() (units.Bytes, units.Time) { return units.Word, units.Nanosecond }
+
+func drop() {
+	latency()       // want:cycleflow discards a units.Time result
+	work()          // want:cycleflow discards a units.Time result
+	go latency()    // want:cycleflow go-statement discards
+	defer latency() // want:cycleflow defer discards
+}
+
+// dropAcrossPackages discards a cost computed in another package.
+func dropAcrossPackages() {
+	cycleflow_dep.Cost() // want:cycleflow discards a units.Time result
+}
+
+// deadLocal accumulates cross-package cost into a local that never
+// escapes: the compiler accepts it (compound assignment is a use),
+// v1 cycledrop missed it, and the cost silently vanishes.
+func deadLocal(n int) {
+	t := cycleflow_dep.Cost() // want:cycleflow never escapes this function
+	for i := 0; i < n; i++ {
+		t += cycleflow_dep.Cost()
+	}
+}
+
+// ignoredArg pays a computed cost into a parameter the callee never
+// reads — only the module-wide call graph can see this one.
+func ignoredArg() units.Bytes {
+	return cycleflow_dep.Charge(latency(), units.Word) // want:cycleflow never reads parameter "t"
+}

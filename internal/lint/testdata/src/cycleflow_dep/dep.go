@@ -1,0 +1,22 @@
+// Package cycleflow_dep is the cross-package half of the cycleflow
+// fixtures: it exports cost-returning helpers and a function that
+// silently ignores a cost parameter, so cycleflow_bad can prove the
+// analyzer follows units.Time across package boundaries.
+package cycleflow_dep
+
+import "repro/internal/units"
+
+// Cost returns a simulated latency computed elsewhere.
+func Cost() units.Time { return 7 * units.Nanosecond }
+
+// Charge claims to account for a transfer cost but never reads it —
+// the classic silent drop cycleflow's call-graph check exists for.
+func Charge(t units.Time, n units.Bytes) units.Bytes {
+	return n + units.Word
+}
+
+// ChargeExplicit declares the drop: a `_` parameter is the sanctioned
+// way to say "this cost is intentionally unaccounted here".
+func ChargeExplicit(_ units.Time, n units.Bytes) units.Bytes {
+	return n + units.Word
+}

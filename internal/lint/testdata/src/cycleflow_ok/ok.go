@@ -1,0 +1,44 @@
+// Package cycleflow_ok consumes or explicitly discards every costly
+// result; lint_test.go asserts it is clean.
+package cycleflow_ok
+
+import "repro/internal/units"
+
+func latency() units.Time { return 5 * units.Nanosecond }
+
+func bandwidth() units.BytesPerSec { return units.MBps(100) }
+
+func use() units.Time {
+	t := latency()
+	_ = latency() // an explicit drop is a visible decision
+	bandwidth()   // bandwidths report state; dropping one loses no cost
+	return t
+}
+
+// accumulate escapes through a return — the idiomatic hot-path shape.
+func accumulate(n int) units.Time {
+	var total units.Time
+	for i := 0; i < n; i++ {
+		total += latency()
+	}
+	return total
+}
+
+// discarded shows the sanctioned way to retire a local that turned
+// out not to matter.
+func discarded() {
+	t := latency()
+	t += latency()
+	_ = t
+}
+
+// sink takes a cost parameter and genuinely accounts for it.
+func sink(t units.Time, acc *units.Time) {
+	*acc += t
+}
+
+func useSink() units.Time {
+	var acc units.Time
+	sink(latency(), &acc)
+	return acc
+}

@@ -31,18 +31,3 @@ func wallClock() int64 {
 func dice() int {
 	return rand.Intn(6) // want:determinism global source
 }
-
-func fanOutAppend(points []int) []int {
-	var results []int
-	done := make(chan struct{})
-	for range points {
-		go func() {
-			results = append(results, 1) // want:determinism captured from the spawning goroutine
-			done <- struct{}{}
-		}()
-	}
-	for range points {
-		<-done
-	}
-	return results
-}

@@ -1,0 +1,46 @@
+// Package fix_bad carries one instance of each fixable finding. The
+// golden test renders `simlint -fix` output for this file and diffs
+// it against testdata/golden/fix_bad.go.golden.
+package fix_bad
+
+import "repro/internal/units"
+
+func latency() units.Time { return 5 * units.Nanosecond }
+
+// drop: the fix inserts `_ = `.
+func drop() {
+	latency()
+}
+
+// fanOut: the fix rewrites the append as a write through the worker's
+// index parameter.
+func fanOut(points []int) []int {
+	results := make([]int, 0, len(points))
+	done := make(chan struct{})
+	for i := range points {
+		go func(i int) {
+			results = append(results, points[i])
+			done <- struct{}{}
+		}(i)
+	}
+	for range points {
+		<-done
+	}
+	return results
+}
+
+// Machine forgets a field in ColdReset; the fix appends a zeroing
+// assignment.
+type Machine struct {
+	now      units.Time
+	storeRun int64
+}
+
+func (m *Machine) Access() {
+	m.now += units.Nanosecond
+	m.storeRun++
+}
+
+func (m *Machine) ColdReset() {
+	m.now = 0
+}

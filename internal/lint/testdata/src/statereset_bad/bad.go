@@ -1,0 +1,47 @@
+// Package statereset_bad reintroduces the PR 2 write-combine bug on
+// purpose: simulation state that survives ColdReset, making one sweep
+// point's result depend on its predecessor. lint_test.go asserts the
+// statereset analyzer catches every seeded leak.
+package statereset_bad
+
+import "repro/internal/units"
+
+// Machine mimics the simulator's node: Access mutates timing and
+// write-combine run state, ColdReset forgets the run state.
+type Machine struct {
+	now      units.Time
+	storeRun int64 // want:statereset no ColdReset path resets it
+	sub      Counter
+}
+
+func (m *Machine) Access() {
+	m.now += units.Nanosecond
+	if m.storeRun > 0 {
+		m.now += units.Nanosecond // warm-run fast path: the seeded bug
+	}
+	m.storeRun++
+	m.sub.Bump()
+}
+
+func (m *Machine) ColdReset() {
+	m.now = 0
+	// BUG (seeded): m.storeRun survives across sweep points.
+	m.sub.Reset()
+}
+
+// Counter is reached transitively through ColdReset; its Reset is
+// itself incomplete.
+type Counter struct {
+	ticks int64 // want:statereset no ColdReset path resets it
+	hits  int64
+}
+
+func (c *Counter) Bump() {
+	c.ticks++
+	c.hits++
+}
+
+func (c *Counter) Reset() {
+	c.hits = 0
+	// BUG (seeded): ticks stays warm.
+}

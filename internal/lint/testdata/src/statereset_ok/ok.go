@@ -1,0 +1,56 @@
+// Package statereset_ok resets every mutable field on its ColdReset
+// paths, in each way the analyzer recognizes: direct reassignment,
+// delegation to a component's reset method, delegation through a
+// helper function, and declared intentionally-warm state.
+// lint_test.go asserts it is clean.
+package statereset_ok
+
+import "repro/internal/units"
+
+// Part is a component with its own reset method.
+type Part struct{ used int64 }
+
+func (p *Part) Clear() { p.used = 0 }
+
+// clearParts is a reset helper reached from ColdReset; fields passed
+// to it count as delegated.
+func clearParts(ps []Part) {
+	for i := range ps {
+		ps[i].Clear()
+	}
+}
+
+// Rig covers every reset idiom at once.
+type Rig struct {
+	now   units.Time
+	seen  int64
+	part  Part
+	extra []Part
+	// routes is an address-independent cache: keeping it warm cannot
+	// change any simulated number, which is the one sanctioned reason
+	// to leave state unreset.
+	routes []int //simlint:ignore statereset deterministic route cache, address-independent by construction
+	wired  func() int
+}
+
+// New initializes; constructor writes are not simulation mutations.
+func New(n int) *Rig {
+	r := &Rig{extra: make([]Part, n)}
+	r.wired = func() int { return n }
+	return r
+}
+
+func (r *Rig) Use(i int) {
+	r.now += units.Nanosecond
+	r.seen++
+	r.part.used++
+	r.extra[i].used++
+	r.routes = append(r.routes, i)
+}
+
+func (r *Rig) ColdReset() {
+	r.now = 0
+	r.seen = 0
+	r.part.Clear()
+	clearParts(r.extra)
+}

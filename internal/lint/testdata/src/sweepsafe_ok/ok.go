@@ -1,0 +1,51 @@
+// Package sweepsafe_ok shows the sanctioned concurrent-ownership
+// patterns: write-by-index through a worker-local variable, state
+// passed in as a parameter, and goroutine-private storage.
+// lint_test.go asserts it is clean.
+package sweepsafe_ok
+
+// Pool mimics internal/sweep.Pool's kernel-running shape.
+type Pool struct{}
+
+func (p *Pool) Run(kernel func(w int) error) error { return kernel(0) }
+
+type state struct{ n int }
+
+// fanOutByIndex: every goroutine owns slot i, handed in as a
+// parameter; a goroutine-private slice may be appended to freely.
+func fanOutByIndex(points []int) []int {
+	results := make([]int, len(points))
+	done := make(chan struct{})
+	for i := range points {
+		go func(i int) {
+			var local []int
+			local = append(local, points[i])
+			results[i] = local[0]
+			done <- struct{}{}
+		}(i)
+	}
+	for range points {
+		<-done
+	}
+	return results
+}
+
+// perWorkerParam: the shared struct arrives as a parameter, so the
+// caller decided the partition.
+func perWorkerParam(states []state, done chan struct{}) {
+	for i := range states {
+		go func(st *state) {
+			st.n = 1
+			done <- struct{}{}
+		}(&states[i])
+	}
+}
+
+// computedLocalIndex: the slot index is derived inside the body.
+func computedLocalIndex(p *Pool, results []int, base int) {
+	_ = p.Run(func(w int) error {
+		slot := base + w
+		results[slot] = w
+		return nil
+	})
+}

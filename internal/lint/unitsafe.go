@@ -21,7 +21,8 @@ var Unitsafe = &Analyzer{
 	Name: "unitsafe",
 	Doc: "flag unit-type laundering casts, cross-unit conversions, " +
 		"and untyped literals passed as unit-typed arguments",
-	Run: runUnitsafe,
+	Severity: SeverityError,
+	Run:      runUnitsafe,
 }
 
 func runUnitsafe(p *Pass) {

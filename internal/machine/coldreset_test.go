@@ -1,0 +1,51 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/units"
+)
+
+// TestColdResetIdenticalSweepPoints is the machine-level regression
+// test for the statereset fixes: ColdReset must erase every trace of
+// the previous measurement, so remeasuring the same grid point gives
+// the exact same bandwidth. This is the invariant the sweep engine
+// relies on when it reorders or parallelizes grid points — a leak in
+// any component reset (cache LRU clock, write-buffer open entry,
+// DRAM page state, stream detector) breaks it.
+func TestColdResetIdenticalSweepPoints(t *testing.T) {
+	machines := []Machine{NewDEC8400(4), NewT3D(4), NewT3E(4)}
+	for _, m := range machines {
+		// A DRAM-resident strided point: sensitive to cache
+		// replacement order, page-mode rows, and stream detection.
+		first := loadPoint(m, 512*units.KB, 7)
+		second := loadPoint(m, 512*units.KB, 7)
+		if first != second {
+			t.Errorf("%s: load point differs across ColdReset runs: %v then %v",
+				m.Name(), first, second)
+		}
+
+		// A remote transfer: exercises engines, network, and the
+		// partner node's memory system.
+		measure := func() units.Time {
+			m.ColdReset()
+			partner := PreferredPartner(m)
+			cp := access.CopyPattern{
+				SrcBase: LocalBase(0), DstBase: LocalBase(partner),
+				WorkingSet: 256 * units.KB, LoadStride: 1, StoreStride: 1,
+			}
+			el, err := m.Transfer(0, partner, cp, Options{Mode: Fetch})
+			if err != nil {
+				t.Fatalf("%s: transfer: %v", m.Name(), err)
+			}
+			return el
+		}
+		t1 := measure()
+		t2 := measure()
+		if t1 != t2 {
+			t.Errorf("%s: transfer time differs across ColdReset runs: %v then %v",
+				m.Name(), t1, t2)
+		}
+	}
+}

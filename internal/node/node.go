@@ -159,12 +159,12 @@ type Node struct {
 	engReadOK         bool
 	engWriteOK        bool
 
-	backend MemBackend
+	backend MemBackend //simlint:ignore statereset wiring installed once at machine construction
 
 	// remote routing (global address space on the Crays)
-	ownerFn  func(access.Addr) int
-	remoteWr func(a access.Addr, nb units.Bytes, now units.Time) units.Time
-	remoteRd func(a access.Addr, nb units.Bytes, now units.Time) units.Time
+	ownerFn  func(access.Addr) int                                          //simlint:ignore statereset wiring installed once at machine construction
+	remoteWr func(a access.Addr, nb units.Bytes, now units.Time) units.Time //simlint:ignore statereset wiring installed once at machine construction
+	remoteRd func(a access.Addr, nb units.Bytes, now units.Time) units.Time //simlint:ignore statereset wiring installed once at machine construction
 
 	// contiguous store-run detection for write combining
 	storeRunNext access.Addr
@@ -279,16 +279,24 @@ func (n *Node) ResetTiming() {
 	n.clock.Reset()
 	for i := range n.fills {
 		n.fills[i].Reset()
+		n.caches[i].ResetStats()
+		n.lastLine[i] = 0
+		n.lastReady[i] = 0
 		n.lastValid[i] = false
 		n.seqNext[i] = 0
 	}
 	n.port.Reset()
 	n.writePort.Reset()
 	n.banks.Reset()
+	n.banks.ResetStats()
 	n.det.Reset()
+	n.dramLast = 0
 	n.dramValid = false
+	n.dramReady = 0
 	n.dramSeq = 0
 	n.wb.Reset()
+	n.engRead = 0
+	n.engWrite = 0
 	n.engReadOK = false
 	n.engWriteOK = false
 	n.stats = Stats{}

@@ -122,11 +122,14 @@ func (d *Detector) Interrupt() {
 	}
 }
 
-// Reset forgets all tracked streams (between benchmark passes).
+// Reset forgets all tracked streams (between benchmark passes). The
+// replacement clock restarts too: every slot's lastUse is zero again,
+// and a warm tick would make victim choice depend on the previous run.
 func (d *Detector) Reset() {
 	for i := range d.streams {
 		d.streams[i] = tracked{}
 	}
+	d.tick = 0
 	d.Established = 0
 	d.Broken = 0
 }

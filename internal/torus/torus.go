@@ -52,8 +52,8 @@ type Network struct {
 	// message on the transfer hot path. plans[src*n+dst] is nil
 	// until first use; planOK marks computed entries (a same-node
 	// route is a valid empty plan).
-	plans  [][][3]int
-	planOK []bool
+	plans  [][][3]int //simlint:ignore statereset route cache is address-independent and deterministic; Reset keeps it warm on purpose
+	planOK []bool     //simlint:ignore statereset route cache is address-independent and deterministic; Reset keeps it warm on purpose
 
 	// MessagesSent and BytesSent count injected traffic.
 	MessagesSent int64

@@ -1,8 +1,9 @@
 #!/bin/sh
 # scripts/bench.sh — time the full figure sweep sequentially and in
-# parallel, verify the artifacts are byte-identical, and record the
-# result in BENCH_sweeps.json (wall-clock seconds and grid points per
-# second for each worker count).
+# parallel, verify the artifacts are byte-identical, time a simlint
+# pass over the whole module, and record the results in
+# BENCH_sweeps.json (wall-clock seconds and grid points per second
+# for each worker count, plus simlint seconds).
 #
 # Run it from the repository root: ./scripts/bench.sh [jobs]
 # `jobs` defaults to the host's logical CPU count.
@@ -17,6 +18,9 @@ trap 'rm -rf "$TMP"' EXIT
 
 echo "== building figures =="
 go build -o "$TMP/figures" ./cmd/figures
+
+echo "== building simlint =="
+go build -o "$TMP/simlint" ./cmd/simlint
 
 # run DIR JOBS — run the full sweep, print elapsed seconds on stdout,
 # and leave the "swept N grid points" count in DIR/points.
@@ -42,8 +46,16 @@ diff -r "$TMP/seq" "$TMP/par"
 cmp "$TMP/seq.stdout" "$TMP/par.stdout"
 echo "   artifacts byte-identical across worker counts"
 
+echo "== simlint ./... =="
+start=$(date +%s.%N)
+"$TMP/simlint" ./...
+end=$(date +%s.%N)
+TLINT=$(echo "$start $end" | awk '{printf "%.2f", $2 - $1}')
+echo "   ${TLINT}s"
+
 POINTS=$(cat "$TMP/seq.points")
 awk -v t1="$T1" -v tn="$TN" -v jobs="$JOBS" -v points="$POINTS" \
+    -v tlint="$TLINT" \
     -v cpus="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)" 'BEGIN {
     printf "{\n"
     printf "  \"benchmark\": \"figures -all (figures 1-17 + tables A-C)\",\n"
@@ -51,7 +63,8 @@ awk -v t1="$T1" -v tn="$TN" -v jobs="$JOBS" -v points="$POINTS" \
     printf "  \"grid_points\": %d,\n", points
     printf "  \"seq\": {\"jobs\": 1, \"seconds\": %.2f, \"points_per_sec\": %.1f},\n", t1, points / t1
     printf "  \"par\": {\"jobs\": %d, \"seconds\": %.2f, \"points_per_sec\": %.1f},\n", jobs, tn, points / tn
-    printf "  \"speedup\": %.2f\n", t1 / tn
+    printf "  \"speedup\": %.2f,\n", t1 / tn
+    printf "  \"simlint\": {\"target\": \"./...\", \"seconds\": %.2f}\n", tlint
     printf "}\n"
 }' >"$OUT"
 

@@ -6,8 +6,12 @@
 #   2. gofmt -l           — formatting is a hard failure
 #   3. go vet ./...       — the stock analyzers
 #   4. simlint ./...      — the domain analyzers (unit safety,
-#                           cycle accounting, determinism)
-#   5. go test -race ./...— the full suite under the race detector
+#                           cycle flow, ColdReset completeness,
+#                           sweep safety, determinism)
+#   5. simlint -fix -dry-run ./... — pending autofixes are a hard
+#                           failure: apply them (make lint-fix) or
+#                           justify with a directive
+#   6. go test -race ./...— the full suite under the race detector
 #
 # Run it from the repository root: ./scripts/check.sh
 set -eu
@@ -30,6 +34,9 @@ go vet ./...
 
 echo "== simlint =="
 go run ./cmd/simlint ./...
+
+echo "== simlint -fix -dry-run =="
+go run ./cmd/simlint -fix -dry-run ./...
 
 echo "== go test -race =="
 go test -race ./...
