@@ -9,7 +9,8 @@ test:
 	go test ./...
 
 # check runs the full gate: build, gofmt (hard failure), go vet,
-# simlint, and the test suite under the race detector.
+# simlint, the test suite under the race detector, and a traced
+# memtrace point end to end.
 check:
 	./scripts/check.sh
 

@@ -34,6 +34,7 @@ func main() {
 	out := flag.String("out", "out", "output directory for -all")
 	maxWS := flag.String("maxws", "8M", "largest working set for surfaces (bytes, or sizes like 512K, 8M)")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "sweep workers (1 = sequential)")
+	trace := flag.Bool("trace", false, "enable probe event tracing on every simulated machine")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
@@ -56,6 +57,9 @@ func main() {
 
 	ms := report.Machines()
 	ps := report.Pools(*jobs)
+	if *trace {
+		ps = report.TracedPools(*jobs)
+	}
 
 	switch {
 	case *fig != 0:
@@ -279,6 +283,17 @@ func writeAll(ms map[string]machine.Machine, ps map[string]*sweep.Pool, dir stri
 			txt += c.Table() + "\n"
 		}
 		if err := write(fmt.Sprintf("%s_%s_remote_copy.txt", j.name, j.key), txt); err != nil {
+			return err
+		}
+	}
+	attrJobs := []string{"8400", "t3d", "t3e"}
+	for _, key := range attrJobs {
+		fmt.Fprintf(os.Stderr, "sweeping %s attribution...\n", key)
+		txt, err := report.AttributionFigure(ps[key], maxWS)
+		if err != nil {
+			return err
+		}
+		if err := write(fmt.Sprintf("attr_%s_load.txt", key), txt); err != nil {
 			return err
 		}
 	}

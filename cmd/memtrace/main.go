@@ -1,0 +1,56 @@
+// Command memtrace runs a single (machine, pattern, working-set)
+// point of the characterization with event tracing enabled and emits
+// the cycle-attribution evidence for that point: a Chrome trace_event
+// JSON file (load it at ui.perfetto.dev or chrome://tracing) and the
+// non-zero counter table from the probe registry.
+//
+// Usage:
+//
+//	memtrace -machine 8400 -ws 512K -stride 7            # load sum
+//	memtrace -machine t3e -pattern deposit -out t.json   # remote put
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/units"
+)
+
+func main() {
+	mach := flag.String("machine", "8400", "8400, t3d, or t3e")
+	wsFlag := flag.String("ws", "512K", "working set (bytes, or sizes like 32K, 8M)")
+	stride := flag.Int("stride", 1, "access stride in words")
+	pattern := flag.String("pattern", "load", "load, store, copy, fetch, or deposit")
+	out := flag.String("out", "trace.json", "trace output file (\"-\" for stdout)")
+	events := flag.Int("events", 0, "trace ring capacity (0 = default)")
+	flag.Parse()
+
+	ws, err := units.ParseBytes(*wsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := run(*mach, *pattern, ws, *stride, *events)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *out == "-" {
+		fmt.Print(res.TraceJSON)
+	} else if err := os.WriteFile(*out, []byte(res.TraceJSON), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s %s ws=%v stride=%d: %v\n", res.MachineName, *pattern, ws, *stride, res.BW)
+	fmt.Printf("trace: %d events captured (%d emitted)\n", res.Events, res.Emitted)
+	if *out != "-" {
+		fmt.Printf("wrote %s\n", *out)
+	}
+	fmt.Println()
+	fmt.Print(res.CounterTable)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "memtrace:", err)
+	os.Exit(1)
+}

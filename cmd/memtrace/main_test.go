@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// goldenPoint is a small DEC 8400 load point: 16 KB at stride 4
+// misses the 8 KB L1 on every load (32 B lines, 32 B steps), so the
+// trace carries one L2 fill span per load — enough structure to pin
+// byte-for-byte without a huge fixture.
+func goldenPoint(t *testing.T) result {
+	t.Helper()
+	res, err := run("8400", "load", 16*units.KB, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_GOLDEN=1 to create the fixture)", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s differs from golden fixture; if the change is intentional, "+
+			"regenerate with UPDATE_GOLDEN=1", name)
+	}
+}
+
+// TestGoldenTrace pins the Chrome trace JSON of the golden point.
+// Regenerate deliberately with:
+//
+//	UPDATE_GOLDEN=1 go test -run TestGolden ./cmd/memtrace
+func TestGoldenTrace(t *testing.T) {
+	checkGolden(t, "trace_8400_load.json", goldenPoint(t).TraceJSON)
+}
+
+// TestGoldenCounters pins the counter breakdown of the golden point.
+func TestGoldenCounters(t *testing.T) {
+	checkGolden(t, "counters_8400_load.txt", goldenPoint(t).CounterTable)
+}
+
+// TestRunIsRepeatable runs the golden point twice on fresh machines;
+// both artifacts must be byte-identical (the determinism contract a
+// golden fixture depends on).
+func TestRunIsRepeatable(t *testing.T) {
+	a, b := goldenPoint(t), goldenPoint(t)
+	if a.TraceJSON != b.TraceJSON {
+		t.Error("trace JSON differs between two identical runs")
+	}
+	if a.CounterTable != b.CounterTable {
+		t.Error("counter table differs between two identical runs")
+	}
+}
+
+// TestPatternsProduceTraces smoke-runs every supported pattern on
+// every machine that implements it.
+func TestPatternsProduceTraces(t *testing.T) {
+	cases := []struct{ mach, pattern string }{
+		{"8400", "store"}, {"8400", "copy"}, {"8400", "fetch"},
+		{"t3d", "fetch"}, {"t3d", "deposit"},
+		{"t3e", "fetch"}, {"t3e", "deposit"},
+	}
+	for _, c := range cases {
+		res, err := run(c.mach, c.pattern, 256*units.KB, 1, 0)
+		if err != nil {
+			t.Errorf("%s %s: %v", c.mach, c.pattern, err)
+			continue
+		}
+		if res.Events == 0 {
+			t.Errorf("%s %s: no trace events captured", c.mach, c.pattern)
+		}
+	}
+}

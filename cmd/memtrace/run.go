@@ -1,0 +1,80 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/access"
+	"repro/internal/bench"
+	"repro/internal/machine"
+	"repro/internal/probe"
+	"repro/internal/report"
+	"repro/internal/units"
+)
+
+// result is everything one traced point produces; run returns it so
+// the golden tests can pin the artifacts without going through the
+// process boundary.
+type result struct {
+	MachineName  string
+	BW           units.BytesPerSec
+	TraceJSON    string
+	CounterTable string
+	Events       int
+	Emitted      int64
+}
+
+// run executes one traced point: build the machine, enable tracing,
+// run the selected benchmark pattern, and capture the probe state.
+func run(mach, pattern string, ws units.Bytes, stride, events int) (result, error) {
+	factory, ok := report.Factories()[mach]
+	if !ok {
+		return result{}, fmt.Errorf("unknown machine %q (want 8400, t3d, or t3e)", mach)
+	}
+	m := factory()
+	m.Probe().EnableTrace(events)
+	m.ColdReset()
+
+	partner := machine.PreferredPartner(m)
+	p := access.Pattern{Base: machine.LocalBase(0), WorkingSet: ws, Stride: stride}
+	cp := access.CopyPattern{
+		SrcBase: machine.LocalBase(0), DstBase: machine.LocalBase(partner),
+		WorkingSet: ws, LoadStride: stride, StoreStride: stride,
+	}
+
+	var bw units.BytesPerSec
+	var err error
+	switch pattern {
+	case "load":
+		bw = bench.LoadSum(m, 0, p)
+	case "store":
+		bw = bench.StoreConst(m, 0, p)
+	case "copy":
+		local := cp
+		local.DstBase = machine.LocalBase(0) + access.Addr(1<<30)
+		bw = bench.LocalCopy(m, 0, local)
+	case "fetch":
+		bw, err = bench.Transfer(m, 0, partner, cp, machine.Options{Mode: machine.Fetch})
+	case "deposit":
+		bw, err = bench.Transfer(m, 0, partner, cp, machine.Options{Mode: machine.Deposit})
+	default:
+		return result{}, fmt.Errorf("unknown pattern %q (want load, store, copy, fetch, or deposit)", pattern)
+	}
+	if err != nil {
+		return result{}, fmt.Errorf("%s %s: %w", m.Name(), pattern, err)
+	}
+
+	cap := m.Probe().Capture()
+	var trace strings.Builder
+	if err := probe.WriteTrace(&trace, cap.Events); err != nil {
+		return result{}, err
+	}
+	return result{
+		MachineName:  m.Name(),
+		BW:           bw,
+		TraceJSON:    trace.String(),
+		CounterTable: cap.Counters.NonZero().Table(),
+		Events:       len(cap.Events),
+		Emitted:      cap.Emitted,
+	}, nil
+}

@@ -3,10 +3,13 @@ package repro_test
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
+	"repro/internal/access"
 	"repro/internal/bench"
 	"repro/internal/machine"
+	"repro/internal/probe"
 	"repro/internal/surface"
 	"repro/internal/sweep"
 	"repro/internal/units"
@@ -78,5 +81,50 @@ func TestTransferSweepDeterminism(t *testing.T) {
 	}
 	if run(1).CSV() != run(4).CSV() {
 		t.Error("T3E fetch surface CSV differs between -j 1 and -j 4")
+	}
+}
+
+// TestTraceDeterminism is the tracing half of the -j contract: with
+// event tracing enabled, the per-point captures (counters and trace
+// JSON both) of a parallel sweep must be byte-identical to the
+// sequential ones — traces merge by point index, never by completion
+// order.
+func TestTraceDeterminism(t *testing.T) {
+	grid := []struct {
+		ws     units.Bytes
+		stride int
+	}{
+		{16 * units.KB, 1}, {16 * units.KB, 7}, {128 * units.KB, 4},
+		{128 * units.KB, 16}, {512 * units.KB, 1}, {512 * units.KB, 64},
+	}
+	capture := func(workers int) []string {
+		p := sweep.NewPool(func() machine.Machine {
+			m := machine.NewT3E(4)
+			m.Probe().EnableTrace(0)
+			return m
+		}, workers)
+		caps, err := p.RunCaptured(len(grid), func(m machine.Machine, i int) error {
+			bench.LoadSum(m, 0, access.Pattern{
+				Base: machine.LocalBase(0), WorkingSet: grid[i].ws, Stride: grid[i].stride})
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]string, len(caps))
+		for i, c := range caps {
+			var b strings.Builder
+			if err := probe.WriteTrace(&b, c.Events); err != nil {
+				t.Fatal(err)
+			}
+			out[i] = c.Counters.NonZero().Table() + "\n" + b.String()
+		}
+		return out
+	}
+	seq, par := capture(1), capture(4)
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Errorf("point %d: trace/counter capture differs between -j 1 and -j 4", i)
+		}
 	}
 }

@@ -8,6 +8,7 @@
 package bus
 
 import (
+	"repro/internal/probe"
 	"repro/internal/sim"
 	"repro/internal/units"
 )
@@ -30,9 +31,14 @@ type Config struct {
 	// transfer (the supplier intervenes; slower than a memory
 	// burst).
 	C2COcc units.Time
+
+	// Probe is the registration scope for the bus counters; a zero
+	// scope registers into a private probe.
+	Probe probe.Scope
 }
 
-// Stats counts bus traffic.
+// Stats is the comparable view of the bus counters. The storage
+// lives in the probe registry; Stats is assembled on demand.
 type Stats struct {
 	Transactions int64
 	C2CTransfers int64
@@ -42,19 +48,43 @@ type Stats struct {
 
 // Bus is the shared snooping bus.
 type Bus struct {
-	cfg   Config
-	res   sim.Resource
-	stats Stats
+	cfg Config
+	res sim.Resource
+
+	ps probe.Scope
+	// counter handles into the probe registry
+	transactions probe.Counter
+	c2cTransfers probe.Counter
+	wait         probe.TimeCounter
 }
 
 // New builds a bus.
-func New(cfg Config) *Bus { return &Bus{cfg: cfg} }
+func New(cfg Config) *Bus {
+	b := &Bus{cfg: cfg}
+	b.ps = cfg.Probe
+	if !b.ps.Valid() {
+		b.ps = probe.New().Scope("bus")
+	}
+	b.transactions = b.ps.Counter("transactions")
+	b.c2cTransfers = b.ps.Counter("c2c_transfers")
+	b.wait = b.ps.TimeCounter("wait")
+	return b
+}
 
 // Config returns the bus configuration.
 func (b *Bus) Config() Config { return b.cfg }
 
 // Stats returns a snapshot of the counters.
-func (b *Bus) Stats() Stats { return b.stats }
+func (b *Bus) Stats() Stats {
+	return Stats{
+		Transactions: b.transactions.Get(),
+		C2CTransfers: b.c2cTransfers.Get(),
+		Wait:         b.wait.Get(),
+	}
+}
+
+// Scope returns the bus's probe registration scope.
+func (b *Bus) Scope() probe.Scope { return b.ps }
 
 // Phase identifies the data phase of a transaction.
 type Phase int
@@ -83,19 +113,22 @@ func (b *Bus) Transaction(p Phase, now units.Time) (start, done units.Time) {
 		occ += b.cfg.WordOcc
 	case CacheToCache:
 		occ += b.cfg.C2COcc
-		b.stats.C2CTransfers++
+		b.c2cTransfers.Inc()
 	case AddressOnly:
 	}
 	start = b.res.Acquire(now, occ)
 	if start > now {
-		b.stats.Wait += start - now
+		b.wait.Add(start - now)
 	}
-	b.stats.Transactions++
+	b.transactions.Inc()
+	if t := b.ps.Tracer(); t != nil {
+		t.SpanArg("bus.txn", "bus", b.ps.TID(), start, start+occ, "phase", int64(p))
+	}
 	return start, start + occ
 }
 
 // Reset clears occupancy and counters.
 func (b *Bus) Reset() {
 	b.res.Reset()
-	b.stats = Stats{}
+	b.ps.Reset()
 }

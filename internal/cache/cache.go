@@ -11,8 +11,10 @@ package cache
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/access"
+	"repro/internal/probe"
 	"repro/internal/units"
 )
 
@@ -63,6 +65,10 @@ type Config struct {
 	Write  WritePolicy
 	Alloc  AllocPolicy
 	Shared bool // unified I/D (21164 L2); informational only
+	// Probe is the registration scope for the level's counters. A
+	// zero scope makes the cache register into a private probe, so
+	// standalone caches (tests) still count.
+	Probe probe.Scope
 }
 
 func (c Config) String() string {
@@ -77,7 +83,8 @@ func (c Config) assoc() int {
 	return c.Assoc
 }
 
-// Stats counts the traffic a cache level has seen.
+// Stats is the comparable view of a cache level's counters. The
+// storage lives in the probe registry; Stats is assembled on demand.
 type Stats struct {
 	ReadHits, ReadMisses   int64
 	WriteHits, WriteMisses int64
@@ -114,7 +121,13 @@ type Cache struct {
 	numSets  int64
 	lineMask int64
 	tick     int64
-	stats    Stats
+
+	ps probe.Scope
+	// counter handles into the probe registry
+	readHits, readMisses   probe.Counter
+	writeHits, writeMisses probe.Counter
+	writeBacks             probe.Counter
+	invalidations          probe.Counter
 }
 
 // New builds a cache from its configuration. It panics on geometries
@@ -140,6 +153,20 @@ func New(cfg Config) *Cache {
 	for i := range c.sets {
 		c.sets[i], backing = backing[:assoc:assoc], backing[assoc:]
 	}
+	c.ps = cfg.Probe
+	if !c.ps.Valid() {
+		name := strings.ToLower(cfg.Name)
+		if name == "" {
+			name = "cache"
+		}
+		c.ps = probe.New().Scope(name)
+	}
+	c.readHits = c.ps.Counter("read_hits")
+	c.readMisses = c.ps.Counter("read_misses")
+	c.writeHits = c.ps.Counter("write_hits")
+	c.writeMisses = c.ps.Counter("write_misses")
+	c.writeBacks = c.ps.Counter("writebacks")
+	c.invalidations = c.ps.Counter("invalidations")
 	return c
 }
 
@@ -147,7 +174,19 @@ func New(cfg Config) *Cache {
 func (c *Cache) Config() Config { return c.cfg }
 
 // Stats returns a snapshot of the access counters.
-func (c *Cache) Stats() Stats { return c.stats }
+func (c *Cache) Stats() Stats {
+	return Stats{
+		ReadHits:      c.readHits.Get(),
+		ReadMisses:    c.readMisses.Get(),
+		WriteHits:     c.writeHits.Get(),
+		WriteMisses:   c.writeMisses.Get(),
+		WriteBacks:    c.writeBacks.Get(),
+		Invalidations: c.invalidations.Get(),
+	}
+}
+
+// Scope returns the cache's probe registration scope.
+func (c *Cache) Scope() probe.Scope { return c.ps }
 
 // LineAddr returns the address of the line containing a.
 func (c *Cache) LineAddr(a access.Addr) access.Addr {
@@ -190,27 +229,27 @@ func (c *Cache) Access(a access.Addr, isWrite bool) Result {
 		if set[i].valid && set[i].tag == tag {
 			set[i].lastUse = c.tick
 			if isWrite {
-				c.stats.WriteHits++
+				c.writeHits.Inc()
 				if c.cfg.Write == WriteBack {
 					set[i].dirty = true
 					return Result{Hit: true}
 				}
 				return Result{Hit: true, WriteThrough: true}
 			}
-			c.stats.ReadHits++
+			c.readHits.Inc()
 			return Result{Hit: true}
 		}
 	}
 
 	// Miss.
 	if isWrite {
-		c.stats.WriteMisses++
+		c.writeMisses.Inc()
 		if c.cfg.Alloc == ReadAllocate {
 			// Non-allocating store miss goes straight through.
 			return Result{WriteThrough: true}
 		}
 	} else {
-		c.stats.ReadMisses++
+		c.readMisses.Inc()
 	}
 
 	// Allocate: choose invalid or LRU victim.
@@ -228,7 +267,7 @@ func (c *Cache) Access(a access.Addr, isWrite bool) Result {
 	if set[victim].valid && set[victim].dirty {
 		res.WriteBack = access.Addr(set[victim].tag)
 		res.HasWriteBack = true
-		c.stats.WriteBacks++
+		c.writeBacks.Inc()
 	}
 	set[victim] = line{tag: tag, valid: true, lastUse: c.tick}
 	if isWrite {
@@ -278,7 +317,7 @@ func (c *Cache) Invalidate(a access.Addr) (present, dirty bool) {
 		if set[i].valid && set[i].tag == int64(lineA) {
 			dirty = set[i].dirty
 			set[i] = line{}
-			c.stats.Invalidations++
+			c.invalidations.Inc()
 			return true, dirty
 		}
 	}
@@ -292,7 +331,7 @@ func (c *Cache) InvalidateAll() {
 	for s := range c.sets {
 		for i := range c.sets[s] {
 			if c.sets[s][i].valid {
-				c.stats.Invalidations++
+				c.invalidations.Inc()
 			}
 			c.sets[s][i] = line{}
 		}
@@ -303,8 +342,9 @@ func (c *Cache) InvalidateAll() {
 	c.tick = 0
 }
 
-// ResetStats zeroes the access counters without touching lines.
-func (c *Cache) ResetStats() { c.stats = Stats{} }
+// ResetStats zeroes the access counters without touching lines
+// (every counter registered under the cache's scope).
+func (c *Cache) ResetStats() { c.ps.Reset() }
 
 // SetDirty marks the line containing a dirty if present, reporting
 // whether it was found (a victim from the level above landed in this

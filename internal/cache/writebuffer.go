@@ -2,6 +2,7 @@ package cache
 
 import (
 	"repro/internal/access"
+	"repro/internal/probe"
 	"repro/internal/units"
 )
 
@@ -30,9 +31,11 @@ type WriteBuffer struct {
 	inflight []units.Time
 
 	// Drained counts entries pushed downstream; DrainedBytes the
-	// bytes they carried.
-	Drained      int64
-	DrainedBytes units.Bytes
+	// bytes they carried. The handles may be left zero (detached) by
+	// callers that do not observe drain counts; the node model wires
+	// them into its probe registry.
+	Drained      probe.Counter
+	DrainedBytes probe.ByteCounter
 }
 
 // DrainTarget is the downstream path a write-buffer entry drains
@@ -71,8 +74,8 @@ func (w *WriteBuffer) closeOpen(now units.Time, t DrainTarget) units.Time {
 	n := units.Bytes(w.openEnd - w.openBase)
 	base := w.openBase
 	w.openValid = false
-	w.Drained++
-	w.DrainedBytes += n
+	w.Drained.Inc()
+	w.DrainedBytes.Add(n)
 
 	var stall units.Time
 	// Find a free slot; if none, wait for the earliest completion.
@@ -119,6 +122,6 @@ func (w *WriteBuffer) Reset() {
 	w.openEnd = 0
 	w.openAt = 0
 	w.inflight = w.inflight[:0]
-	w.Drained = 0
-	w.DrainedBytes = 0
+	w.Drained.Reset()
+	w.DrainedBytes.Reset()
 }

@@ -4,9 +4,19 @@ import (
 	"testing"
 
 	"repro/internal/access"
+	"repro/internal/probe"
 	"repro/internal/sim"
 	"repro/internal/units"
 )
+
+// counted attaches live drain counters to a write buffer, as the node
+// model does through its probe scope.
+func counted(w *WriteBuffer) *WriteBuffer {
+	s := probe.New().Scope("wb")
+	w.Drained = s.Counter("drained")
+	w.DrainedBytes = s.ByteCounter("drained_bytes")
+	return w
+}
 
 func target(res *sim.Resource, perByte units.Time) DrainTarget {
 	return func(_ access.Addr, n units.Bytes, now units.Time) units.Time {
@@ -19,32 +29,32 @@ func TestWriteBufferCoalescesContiguous(t *testing.T) {
 	// Four contiguous 8-byte stores coalesce into one 32-byte entry
 	// (T3D behaviour, §3.2).
 	var res sim.Resource
-	w := &WriteBuffer{Entries: 6, EntryBytes: 32}
+	w := counted(&WriteBuffer{Entries: 6, EntryBytes: 32})
 	tg := target(&res, 1)
 	for i := 0; i < 4; i++ {
 		if stall := w.Push(access.Addr(i*8), 0, tg); stall != 0 {
 			t.Fatalf("store %d stalled %v", i, stall)
 		}
 	}
-	if w.Drained != 1 || w.DrainedBytes != 32 {
-		t.Fatalf("drained %d entries / %d bytes, want 1/32", w.Drained, w.DrainedBytes)
+	if w.Drained.Get() != 1 || w.DrainedBytes.Get() != 32 {
+		t.Fatalf("drained %d entries / %d bytes, want 1/32", w.Drained.Get(), w.DrainedBytes.Get())
 	}
 }
 
 func TestWriteBufferStridedEntriesPerWord(t *testing.T) {
 	// Strided stores (64B apart) cannot coalesce: one entry per word.
 	var res sim.Resource
-	w := &WriteBuffer{Entries: 6, EntryBytes: 32}
+	w := counted(&WriteBuffer{Entries: 6, EntryBytes: 32})
 	tg := target(&res, 1)
 	for i := 0; i < 8; i++ {
 		w.Push(access.Addr(i*64), 0, tg)
 	}
 	w.Flush(0, tg)
-	if w.Drained != 8 {
-		t.Fatalf("drained %d entries, want 8 (no coalescing)", w.Drained)
+	if w.Drained.Get() != 8 {
+		t.Fatalf("drained %d entries, want 8 (no coalescing)", w.Drained.Get())
 	}
-	if w.DrainedBytes != 64 {
-		t.Fatalf("drained %d bytes, want 64 (8 words)", w.DrainedBytes)
+	if w.DrainedBytes.Get() != 64 {
+		t.Fatalf("drained %d bytes, want 64 (8 words)", w.DrainedBytes.Get())
 	}
 }
 
@@ -52,7 +62,7 @@ func TestWriteBufferBackpressure(t *testing.T) {
 	// With 2 slots and a slow drain, a burst of strided stores must
 	// eventually stall the processor.
 	var res sim.Resource
-	w := &WriteBuffer{Entries: 2, EntryBytes: 32}
+	w := counted(&WriteBuffer{Entries: 2, EntryBytes: 32})
 	tg := target(&res, 100) // 800ns per 8-byte entry
 	var totalStall units.Time
 	for i := 0; i < 16; i++ {
@@ -71,7 +81,7 @@ func TestWriteBufferContiguousBeatsStrided(t *testing.T) {
 	// stores.
 	run := func(strideBytes int) units.Time {
 		var res sim.Resource
-		w := &WriteBuffer{Entries: 4, EntryBytes: 32}
+		w := counted(&WriteBuffer{Entries: 4, EntryBytes: 32})
 		// Per-entry fixed cost (a DRAM access / network packet) plus
 		// a per-byte transfer cost: this is what coalescing saves.
 		tg := func(_ access.Addr, n units.Bytes, now units.Time) units.Time {
@@ -91,7 +101,7 @@ func TestWriteBufferContiguousBeatsStrided(t *testing.T) {
 
 func TestWriteBufferFlushWaitsForDrains(t *testing.T) {
 	var res sim.Resource
-	w := &WriteBuffer{Entries: 4, EntryBytes: 32}
+	w := counted(&WriteBuffer{Entries: 4, EntryBytes: 32})
 	tg := target(&res, 10) // 80ns per word entry
 	w.Push(0, 0, tg)
 	done := w.Flush(0, tg)
@@ -106,11 +116,11 @@ func TestWriteBufferFlushWaitsForDrains(t *testing.T) {
 
 func TestWriteBufferReset(t *testing.T) {
 	var res sim.Resource
-	w := &WriteBuffer{Entries: 2, EntryBytes: 32}
+	w := counted(&WriteBuffer{Entries: 2, EntryBytes: 32})
 	tg := target(&res, 10)
 	w.Push(0, 0, tg)
 	w.Reset()
-	if w.Drained != 0 || w.DrainedBytes != 0 {
+	if w.Drained.Get() != 0 || w.DrainedBytes.Get() != 0 {
 		t.Fatalf("reset should clear counters")
 	}
 	if done := w.Flush(5, tg); done != 5 {

@@ -17,6 +17,7 @@ import (
 	"repro/internal/access"
 	"repro/internal/bus"
 	"repro/internal/node"
+	"repro/internal/probe"
 	"repro/internal/units"
 )
 
@@ -29,15 +30,38 @@ type Controller struct {
 	// nodes are the snooping processors.
 	nodes []*node.Node //simlint:ignore statereset wiring installed once via Attach at machine construction
 
+	ps probe.Scope
+	// pulls counts fills satisfied by cache-to-cache intervention;
+	// memFills counts fills satisfied by shared DRAM.
+	pulls    probe.Counter
+	memFills probe.Counter
+}
+
+// Stats is the comparable view of the controller's counters.
+type Stats struct {
 	// Pulls counts fills satisfied by cache-to-cache intervention.
 	Pulls int64
 	// MemFills counts fills satisfied by shared DRAM.
 	MemFills int64
 }
 
-// New builds a controller over a bus and a shared-memory timing node.
-func New(b *bus.Bus, mem *node.Node) *Controller {
-	return &Controller{bus: b, mem: mem}
+// New builds a controller over a bus and a shared-memory timing node,
+// registering its counters under ps (a zero scope builds a private
+// probe).
+func New(b *bus.Bus, mem *node.Node, ps probe.Scope) *Controller {
+	if !ps.Valid() {
+		ps = probe.New().Scope("coh")
+	}
+	return &Controller{
+		bus: b, mem: mem, ps: ps,
+		pulls:    ps.Counter("pulls"),
+		memFills: ps.Counter("mem_fills"),
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Controller) Stats() Stats {
+	return Stats{Pulls: c.pulls.Get(), MemFills: c.memFills.Get()}
 }
 
 // Attach registers the snooping processors. The controller must know
@@ -63,7 +87,10 @@ func (c *Controller) Fill(nodeID int, line access.Addr, lineBytes units.Bytes, n
 			// The supplier's copy stays resident but is now clean
 			// (it answered the read with its data).
 			other.CleanLine(line)
-			c.Pulls++
+			c.pulls.Inc()
+			if t := c.ps.Tracer(); t != nil {
+				t.InstantArg("coh.c2c", "bus", c.ps.TID(), now, "supplier", int64(other.ID))
+			}
 			return done
 		}
 	}
@@ -73,7 +100,7 @@ func (c *Controller) Fill(nodeID int, line access.Addr, lineBytes units.Bytes, n
 	// the bus.
 	start, busDone := c.bus.Transaction(bus.LineBurst, now)
 	memReady := c.mem.LoadReady(line, start)
-	c.MemFills++
+	c.memFills.Inc()
 	if memReady > busDone {
 		return memReady
 	}
@@ -106,6 +133,5 @@ func (c *Controller) Write(nodeID int, a access.Addr, nb units.Bytes, now units.
 func (c *Controller) Reset() {
 	c.bus.Reset()
 	c.mem.ResetTiming()
-	c.Pulls = 0
-	c.MemFills = 0
+	c.ps.Reset()
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/cpu"
 	"repro/internal/node"
+	"repro/internal/probe"
 	"repro/internal/stream"
 	"repro/internal/units"
 )
@@ -21,7 +22,7 @@ func testSystem() (*Controller, []*node.Node) {
 			Stream: stream.Config{Enabled: true, Streams: 8, Threshold: 2, LineBytes: 64}},
 	})
 	b := bus.New(bus.Config{Arb: 30, Snoop: 45, LineOcc: 40, WordOcc: 20, C2COcc: 385})
-	c := New(b, mem)
+	c := New(b, mem, probe.Scope{})
 	var nodes []*node.Node
 	for i := 0; i < 2; i++ {
 		nd := node.New(i, node.Config{
@@ -46,8 +47,8 @@ func TestFillFromMemory(t *testing.T) {
 	if done <= 0 {
 		t.Fatalf("memory fill should take time")
 	}
-	if c.MemFills != 1 || c.Pulls != 0 {
-		t.Errorf("counters: %+v pulls=%d", c.MemFills, c.Pulls)
+	if st := c.Stats(); st.MemFills != 1 || st.Pulls != 0 {
+		t.Errorf("counters: %+v pulls=%d", st.MemFills, st.Pulls)
 	}
 }
 
@@ -59,7 +60,7 @@ func TestCacheToCacheIntervention(t *testing.T) {
 		t.Fatalf("store should dirty node 1's cache")
 	}
 	c.Fill(0, 0x2000, 64, 0)
-	if c.Pulls != 1 {
+	if c.Stats().Pulls != 1 {
 		t.Fatalf("dirty line should be pulled cache-to-cache")
 	}
 	if nodes[1].HoldsDirty(0x2000) {
@@ -93,8 +94,8 @@ func TestC2CSustainedRate(t *testing.T) {
 	if bw < 110 || bw > 170 {
 		t.Errorf("sustained c2c = %.0f MB/s, want ~139", bw)
 	}
-	if c.Pulls != 64 {
-		t.Errorf("pulls = %d, want 64", c.Pulls)
+	if c.Stats().Pulls != 64 {
+		t.Errorf("pulls = %d, want 64", c.Stats().Pulls)
 	}
 }
 
@@ -102,7 +103,7 @@ func TestResetClearsState(t *testing.T) {
 	c, _ := testSystem()
 	c.Fill(0, 0x100, 64, 0)
 	c.Reset()
-	if c.MemFills != 0 || c.Pulls != 0 {
+	if st := c.Stats(); st.MemFills != 0 || st.Pulls != 0 {
 		t.Errorf("reset should zero counters")
 	}
 }

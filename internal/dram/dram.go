@@ -11,6 +11,7 @@ package dram
 
 import (
 	"repro/internal/access"
+	"repro/internal/probe"
 	"repro/internal/sim"
 	"repro/internal/units"
 )
@@ -33,9 +34,14 @@ type Config struct {
 	RowMiss units.Time
 	// PerByte is the additional occupancy per byte transferred.
 	PerByte units.Time
+
+	// Probe is the registration scope for the memory system's
+	// counters; a zero scope registers into a private probe.
+	Probe probe.Scope
 }
 
-// Stats counts DRAM traffic.
+// Stats is the comparable view of the memory system's counters. The
+// storage lives in the probe registry; Stats is assembled on demand.
 type Stats struct {
 	Accesses  int64
 	RowHits   int64
@@ -56,7 +62,14 @@ type bank struct {
 type DRAM struct {
 	cfg   Config
 	banks []bank
-	stats Stats
+
+	ps probe.Scope
+	// counter handles into the probe registry
+	accesses     probe.Counter
+	rowHits      probe.Counter
+	rowMisses    probe.Counter
+	conflictWait probe.TimeCounter
+	bytes        probe.ByteCounter
 }
 
 // New builds a DRAM system. Banks and sizes must be positive.
@@ -70,14 +83,39 @@ func New(cfg Config) *DRAM {
 	if cfg.RowBytes <= 0 {
 		cfg.RowBytes = 2 * units.KB
 	}
-	return &DRAM{cfg: cfg, banks: make([]bank, cfg.Banks)}
+	d := &DRAM{cfg: cfg, banks: make([]bank, cfg.Banks)}
+	d.ps = cfg.Probe
+	if !d.ps.Valid() {
+		name := cfg.Name
+		if name == "" {
+			name = "dram"
+		}
+		d.ps = probe.New().Scope(name)
+	}
+	d.accesses = d.ps.Counter("accesses")
+	d.rowHits = d.ps.Counter("row_hits")
+	d.rowMisses = d.ps.Counter("row_misses")
+	d.conflictWait = d.ps.TimeCounter("conflict_wait")
+	d.bytes = d.ps.ByteCounter("bytes")
+	return d
 }
 
 // Config returns the memory system's configuration.
 func (d *DRAM) Config() Config { return d.cfg }
 
 // Stats returns a snapshot of the counters.
-func (d *DRAM) Stats() Stats { return d.stats }
+func (d *DRAM) Stats() Stats {
+	return Stats{
+		Accesses:     d.accesses.Get(),
+		RowHits:      d.rowHits.Get(),
+		RowMisses:    d.rowMisses.Get(),
+		ConflictWait: d.conflictWait.Get(),
+		Bytes:        d.bytes.Get(),
+	}
+}
+
+// Scope returns the memory system's probe registration scope.
+func (d *DRAM) Scope() probe.Scope { return d.ps }
 
 // bankAndRow decomposes an address under the interleave scheme:
 // consecutive InterleaveBytes chunks rotate across banks; within a
@@ -101,9 +139,9 @@ func (d *DRAM) Access(a access.Addr, n units.Bytes, now units.Time) units.Time {
 	occ := d.cfg.RowMiss
 	if b.hasRow && b.openRow == row {
 		occ = d.cfg.RowHit
-		d.stats.RowHits++
+		d.rowHits.Inc()
 	} else {
-		d.stats.RowMisses++
+		d.rowMisses.Inc()
 		b.openRow = row
 		b.hasRow = true
 	}
@@ -111,10 +149,13 @@ func (d *DRAM) Access(a access.Addr, n units.Bytes, now units.Time) units.Time {
 
 	start := b.res.Acquire(now, occ)
 	if start > now {
-		d.stats.ConflictWait += start - now
+		d.conflictWait.Add(start - now)
+		if t := d.ps.Tracer(); t != nil {
+			t.InstantArg("bank.conflict", "mem", d.ps.TID(), now, "bank", int64(bi))
+		}
 	}
-	d.stats.Accesses++
-	d.stats.Bytes += n
+	d.accesses.Inc()
+	d.bytes.Add(n)
 	return start + occ
 }
 
@@ -139,4 +180,4 @@ func (d *DRAM) Reset() {
 }
 
 // ResetStats zeroes the counters without touching bank state.
-func (d *DRAM) ResetStats() { d.stats = Stats{} }
+func (d *DRAM) ResetStats() { d.ps.Reset() }

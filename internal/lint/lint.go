@@ -91,7 +91,7 @@ type Analyzer struct {
 }
 
 // All lists every analyzer in the suite, in reporting order.
-var All = []*Analyzer{Unitsafe, Cycleflow, Statereset, Sweepsafe, Determinism}
+var All = []*Analyzer{Unitsafe, Cycleflow, Statereset, Sweepsafe, Determinism, Probeguard}
 
 // aliases maps retired analyzer names to their successors, so old
 // //simlint:ignore directives and CLI flags keep working.

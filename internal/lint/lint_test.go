@@ -140,6 +140,11 @@ func TestDeterminismCatchesViolations(t *testing.T) {
 }
 func TestDeterminismCleanPass(t *testing.T) { testFixture(t, "determinism_ok", Determinism) }
 
+func TestProbeguardCatchesViolations(t *testing.T) {
+	testFixture(t, "probeguard_bad", Probeguard)
+}
+func TestProbeguardCleanPass(t *testing.T) { testFixture(t, "probeguard_ok", Probeguard) }
+
 // TestStateresetSeededBugFailsRun pins the acceptance criterion
 // directly: reintroducing the PR 2 write-combine bug (a ColdReset
 // that forgets run state) must make a simlint run report findings,

@@ -1,0 +1,191 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Probeguard enforces the probe subsystem's zero-cost-when-disabled
+// contract. Trace emissions (Span, SpanArg, Instant, InstantArg) sit
+// on simulator hot paths; the registry hands components a possibly
+// nil *probe.Tracer, and the emission idiom
+//
+//	if t := x.Tracer(); t != nil {
+//		t.SpanArg(...)
+//	}
+//
+// keeps the disabled path to one pointer test — the guard also stops
+// the arguments from being evaluated. An unguarded emission defeats
+// that: it either dereferences a nil tracer or forces a Tracer() call
+// and argument construction on every access even when tracing is off.
+// The check applies to the component packages that emit during
+// simulation (cache, dram, bus, torus, node, remote, coherence); the
+// probe package itself and test files are exempt.
+var Probeguard = &Analyzer{
+	Name: "probeguard",
+	Doc: "require trace emissions in simulator components to sit " +
+		"behind an `if t := ...; t != nil` tracer guard",
+	Severity: SeverityError,
+	Run:      runProbeguard,
+}
+
+// probeguardPkgs are the package-path fragments the check applies to:
+// every component that emits events during simulation, plus the
+// analyzer's own fixtures.
+var probeguardPkgs = []string{
+	"internal/cache", "internal/dram", "internal/bus", "internal/torus",
+	"internal/node", "internal/remote", "internal/coherence",
+	"testdata/src/probeguard",
+}
+
+func runProbeguard(p *Pass) {
+	applies := false
+	for _, frag := range probeguardPkgs {
+		if strings.Contains(p.Path, frag) {
+			applies = true
+			break
+		}
+	}
+	if !applies {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				walkGuarded(p, fn.Body, map[types.Object]bool{})
+			}
+		}
+	}
+}
+
+// emissionMethods are the *probe.Tracer methods that record events.
+// Read-side methods (Len, Events, ...) are free to call anywhere.
+var emissionMethods = map[string]bool{
+	"Span": true, "SpanArg": true, "Instant": true, "InstantArg": true,
+}
+
+// walkGuarded traverses a statement tree carrying the set of
+// identifiers currently proven non-nil by an enclosing
+// `if x != nil` (or `...; x != nil && ...`) guard.
+func walkGuarded(p *Pass, n ast.Node, guarded map[types.Object]bool) {
+	if n == nil {
+		return
+	}
+	if ifs, ok := n.(*ast.IfStmt); ok {
+		walkGuarded(p, ifs.Init, guarded)
+		checkEmissions(p, ifs.Cond, guarded)
+		inner := guarded
+		if objs := nilChecked(p, ifs.Cond); len(objs) > 0 {
+			inner = make(map[types.Object]bool, len(guarded)+len(objs))
+			for o := range guarded {
+				inner[o] = true
+			}
+			for _, o := range objs {
+				inner[o] = true
+			}
+		}
+		walkGuarded(p, ifs.Body, inner)
+		walkGuarded(p, ifs.Else, guarded)
+		return
+	}
+	// Function literals start a new statement context but inherit the
+	// lexical guards, like any nested block.
+	ast.Inspect(n, func(c ast.Node) bool {
+		switch c := c.(type) {
+		case *ast.IfStmt:
+			walkGuarded(p, c, guarded)
+			return false
+		case *ast.CallExpr:
+			checkEmission(p, c, guarded)
+		}
+		return true
+	})
+}
+
+// checkEmissions scans a non-statement subtree (e.g. an if condition)
+// for emission calls.
+func checkEmissions(p *Pass, e ast.Expr, guarded map[types.Object]bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(c ast.Node) bool {
+		if call, ok := c.(*ast.CallExpr); ok {
+			checkEmission(p, call, guarded)
+		}
+		return true
+	})
+}
+
+// checkEmission reports call if it is a trace emission whose receiver
+// is not a guard-proven non-nil tracer identifier.
+func checkEmission(p *Pass, call *ast.CallExpr, guarded map[types.Object]bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !emissionMethods[sel.Sel.Name] {
+		return
+	}
+	if !isTracerPtr(p.TypeOf(sel.X)) {
+		return
+	}
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if obj := p.Info.Uses[id]; obj != nil && guarded[obj] {
+			return
+		}
+	}
+	p.Reportf(call.Pos(),
+		"tracer emission %s outside a nil guard; wrap it as `if t := x.Tracer(); t != nil { t.%s(...) }` "+
+			"so the disabled path costs one pointer test and no argument evaluation",
+		sel.Sel.Name, sel.Sel.Name)
+}
+
+// nilChecked extracts the identifiers proven non-nil by cond when it
+// is true: `x != nil` terms connected by &&.
+func nilChecked(p *Pass, cond ast.Expr) []types.Object {
+	b, ok := cond.(*ast.BinaryExpr)
+	if !ok {
+		return nil
+	}
+	switch b.Op.String() {
+	case "&&":
+		return append(nilChecked(p, b.X), nilChecked(p, b.Y)...)
+	case "!=":
+		var id *ast.Ident
+		if isNilIdent(p, b.Y) {
+			id, _ = b.X.(*ast.Ident)
+		} else if isNilIdent(p, b.X) {
+			id, _ = b.Y.(*ast.Ident)
+		}
+		if id != nil {
+			if obj := p.Info.Uses[id]; obj != nil {
+				return []types.Object{obj}
+			}
+			if obj := p.Info.Defs[id]; obj != nil {
+				return []types.Object{obj}
+			}
+		}
+	}
+	return nil
+}
+
+func isNilIdent(p *Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := p.Info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// isTracerPtr reports whether t is *probe.Tracer.
+func isTracerPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := ptr.Elem().(*types.Named)
+	if !ok || n.Obj() == nil || n.Obj().Name() != "Tracer" {
+		return false
+	}
+	pkg := n.Obj().Pkg()
+	return pkg != nil && strings.HasSuffix(pkg.Path(), "internal/probe")
+}

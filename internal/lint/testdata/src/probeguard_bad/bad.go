@@ -1,0 +1,50 @@
+// Package probeguard_bad emits trace events in every unguarded form
+// the analyzer flags.
+package probeguard_bad
+
+import (
+	"repro/internal/probe"
+	"repro/internal/units"
+)
+
+// Device is a component holding a probe scope.
+type Device struct {
+	ps probe.Scope
+	tr *probe.Tracer
+}
+
+// bare emits straight off the scope, evaluating Tracer() and every
+// argument on each call even when tracing is off.
+func (d *Device) bare(start, end units.Time) {
+	d.ps.Tracer().Span("dev.op", "dev", d.ps.TID(), start, end) // want:probeguard outside a nil guard
+}
+
+// boundButUnchecked binds the tracer but never tests it.
+func (d *Device) boundButUnchecked(now units.Time) {
+	t := d.ps.Tracer()
+	t.Instant("dev.tick", "dev", d.ps.TID(), now) // want:probeguard outside a nil guard
+}
+
+// wrongGuard tests something other than the tracer.
+func (d *Device) wrongGuard(now units.Time, hot bool) {
+	t := d.ps.Tracer()
+	if hot {
+		t.InstantArg("dev.hot", "dev", d.ps.TID(), now, "hot", 1) // want:probeguard outside a nil guard
+	}
+}
+
+// staleGuard emits in the else branch, where the proof is inverted.
+func (d *Device) staleGuard(now units.Time) {
+	if t := d.ps.Tracer(); t != nil {
+		_ = now
+	} else {
+		t.Instant("dev.tick", "dev", d.ps.TID(), now) // want:probeguard outside a nil guard
+	}
+}
+
+// fieldReceiver emits through a struct field, which no guard proves.
+func (d *Device) fieldReceiver(start, end units.Time) {
+	if d.tr != nil {
+		d.tr.SpanArg("dev.op", "dev", 0, start, end, "n", 1) // want:probeguard outside a nil guard
+	}
+}

@@ -1,0 +1,58 @@
+// Package probeguard_ok emits trace events in every guarded form the
+// analyzer accepts. lint_test.go asserts it is clean.
+package probeguard_ok
+
+import (
+	"repro/internal/probe"
+	"repro/internal/units"
+)
+
+// Device is a component holding a probe scope.
+type Device struct {
+	ps probe.Scope
+}
+
+// guardWithInit is the canonical idiom: bind and test in the if
+// header, emit in the body.
+func (d *Device) guardWithInit(start, end units.Time) {
+	if t := d.ps.Tracer(); t != nil {
+		t.Span("dev.op", "dev", d.ps.TID(), start, end)
+		t.SpanArg("dev.op2", "dev", d.ps.TID(), start, end, "n", 1)
+	}
+}
+
+// guardSeparateBind tests a previously bound tracer variable.
+func (d *Device) guardSeparateBind(now units.Time) {
+	tr := d.ps.Tracer()
+	if tr != nil {
+		tr.Instant("dev.tick", "dev", d.ps.TID(), now)
+	}
+}
+
+// guardYodaAndCompound accepts reversed operands and && chains.
+func (d *Device) guardYodaAndCompound(now units.Time, hot bool) {
+	tr := d.ps.Tracer()
+	if nil != tr {
+		tr.Instant("dev.tick", "dev", d.ps.TID(), now)
+	}
+	if t := d.ps.Tracer(); t != nil && hot {
+		t.InstantArg("dev.hot", "dev", d.ps.TID(), now, "hot", 1)
+	}
+}
+
+// guardNested keeps the proof through nested blocks and closures.
+func (d *Device) guardNested(now units.Time, n int) {
+	if t := d.ps.Tracer(); t != nil {
+		for i := 0; i < n; i++ {
+			t.Instant("dev.step", "dev", d.ps.TID(), now)
+		}
+		emit := func() { t.Instant("dev.done", "dev", d.ps.TID(), now) }
+		emit()
+	}
+}
+
+// readSide calls non-emission tracer methods unguarded, which is fine
+// (they run off the hot path).
+func (d *Device) readSide() int {
+	return d.ps.Tracer().Len()
+}

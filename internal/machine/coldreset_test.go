@@ -49,3 +49,42 @@ func TestColdResetIdenticalSweepPoints(t *testing.T) {
 		}
 	}
 }
+
+// TestColdResetClearsProbeState extends the invariant to the probe
+// subsystem: remeasuring a point yields an identical counter
+// snapshot, and ColdReset leaves every counter at zero and the trace
+// ring empty — no events or counts leak from one sweep point into the
+// next.
+func TestColdResetClearsProbeState(t *testing.T) {
+	machines := []Machine{NewDEC8400(4), NewT3D(4), NewT3E(4)}
+	for _, m := range machines {
+		m.Probe().EnableTrace(0)
+
+		counters := func() string {
+			m.ColdReset()
+			loadPoint(m, 512*units.KB, 7)
+			return m.Probe().Registry().Snapshot().NonZero().Table()
+		}
+		first := counters()
+		second := counters()
+		if first != second {
+			t.Errorf("%s: counter snapshot differs across ColdReset runs:\n%s\nthen\n%s",
+				m.Name(), first, second)
+		}
+		if first == "" {
+			t.Errorf("%s: measurement registered no counters at all", m.Name())
+		}
+		if m.Probe().Tracer().Len() == 0 {
+			t.Errorf("%s: traced measurement captured no events", m.Name())
+		}
+
+		m.ColdReset()
+		if left := m.Probe().Registry().Snapshot().NonZero(); len(left) != 0 {
+			t.Errorf("%s: %d counters survive ColdReset, first %q",
+				m.Name(), len(left), left[0].Name)
+		}
+		if n := m.Probe().Tracer().Len(); n != 0 {
+			t.Errorf("%s: %d trace events survive ColdReset", m.Name(), n)
+		}
+	}
+}

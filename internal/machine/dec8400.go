@@ -7,6 +7,7 @@ import (
 	"repro/internal/coherence"
 	"repro/internal/cpu"
 	"repro/internal/node"
+	"repro/internal/probe"
 	"repro/internal/stream"
 	"repro/internal/units"
 )
@@ -17,6 +18,7 @@ type SMP struct {
 	name  string
 	nodes []*node.Node
 	coh   *coherence.Controller
+	probe *probe.Probe
 }
 
 // NewDEC8400 builds an n-processor DEC 8400 (the paper used n=4; the
@@ -25,11 +27,13 @@ func NewDEC8400(n int) *SMP {
 	if n < 1 {
 		n = 1
 	}
+	p := probe.New()
 	// The shared DRAM: four memory modules, two-way interleaved each
 	// (§3.1: "with four memory modules, a maximal interleaving of 8
 	// is possible"). Modelled as a cache-less timing node.
 	mem := node.New(-1, node.Config{
-		CPU: cpu.Config{Clock: units.Clock{MHz: 75}}, // bus clock domain
+		Probe: p.Scope("mem").WithTid(tidMem),
+		CPU:   cpu.Config{Clock: units.Clock{MHz: 75}}, // bus clock domain
 		DRAM: node.DRAMSpec{
 			Banks:           8,
 			InterleaveBytes: 64,
@@ -55,7 +59,8 @@ func NewDEC8400(n int) *SMP {
 	})
 
 	b := bus.New(bus.Config{
-		Name: "8400 system bus",
+		Name:  "8400 system bus",
+		Probe: p.Scope("bus").WithTid(tidBus),
 		// 256-bit data path at 75 MHz; 1.6 GB/s burst (§3.1): a
 		// 64-byte line crosses in 40 ns.
 		// Address/snoop phases are short (pipelined on the 75 MHz
@@ -70,11 +75,13 @@ func NewDEC8400(n int) *SMP {
 		// 140 MByte/s", §5.2).
 		C2COcc: 440,
 	})
-	coh := coherence.New(b, mem)
+	coh := coherence.New(b, mem, p.Scope("coh").WithTid(tidCoh))
 
-	m := &SMP{name: "DEC 8400", coh: coh}
+	m := &SMP{name: "DEC 8400", coh: coh, probe: p}
 	for i := 0; i < n; i++ {
-		nd := node.New(i, dec8400Node())
+		cfg := dec8400Node()
+		cfg.Probe = nodeScope(p, i)
+		nd := node.New(i, cfg)
 		nd.SetBackend(coh)
 		m.nodes = append(m.nodes, nd)
 	}
@@ -156,16 +163,23 @@ func (m *SMP) Node(i int) *node.Node { return m.nodes[i] }
 // Coherence exposes the controller (for stats and tests).
 func (m *SMP) Coherence() *coherence.Controller { return m.coh }
 
+// Probe implements Machine.
+func (m *SMP) Probe() *probe.Probe { return m.probe }
+
 // ResetTiming implements Machine.
 func (m *SMP) ResetTiming() {
 	resetNodes(m.nodes)
 	m.coh.Reset()
+	// A fresh measurement pass starts with a clean slate: every
+	// registered counter back to zero and the trace ring rewound.
+	m.probe.Reset()
 }
 
 // ColdReset implements Machine.
 func (m *SMP) ColdReset() {
 	coldNodes(m.nodes)
 	m.coh.Reset()
+	m.probe.Reset()
 }
 
 // storeRuns drives nd's store loop over the cursor's remaining

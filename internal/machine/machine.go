@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/access"
 	"repro/internal/node"
+	"repro/internal/probe"
 	"repro/internal/units"
 )
 
@@ -99,6 +100,29 @@ type Machine interface {
 	ResetTiming()
 	// ColdReset additionally invalidates all caches.
 	ColdReset()
+	// Probe returns the machine's shared counter registry and
+	// tracer. Every component's counters are registered here under
+	// hierarchical names ("node0.l2.read_misses", "torus.bytes").
+	Probe() *probe.Probe
+}
+
+// Trace thread ids. Per-node scopes use the node id; shared
+// components get fixed ids above any realistic node count so the
+// rows stay separable in a trace viewer.
+const (
+	// tidMem is the 8400's shared memory and the Crays' torus.
+	tidMem int32 = 100
+	// tidBus is the 8400 system bus and the Crays' deposit router.
+	tidBus int32 = 101
+	// tidCoh is the snooping controller and the T3D's fetch FIFO.
+	tidCoh int32 = 102
+	// tidEng is the T3E's E-register engine.
+	tidEng int32 = 103
+)
+
+// nodeScope names node i's counter scope in p.
+func nodeScope(p *probe.Probe, i int) probe.Scope {
+	return p.Scope(fmt.Sprintf("node%d", i)).WithTid(int32(i))
 }
 
 // resetNodes is shared by the machine implementations.

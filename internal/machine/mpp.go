@@ -3,6 +3,7 @@ package machine
 import (
 	"repro/internal/access"
 	"repro/internal/node"
+	"repro/internal/probe"
 	"repro/internal/remote"
 	"repro/internal/torus"
 	"repro/internal/units"
@@ -26,6 +27,7 @@ type MPP struct {
 	router *remote.DepositRouter
 	fifo   remote.FIFOConfig
 	ereg   remote.ERegConfig
+	probe  *probe.Probe
 }
 
 // Name implements Machine.
@@ -40,20 +42,25 @@ func (m *MPP) Node(i int) *node.Node { return m.nodes[i] }
 // Network exposes the torus (for stats and tests).
 func (m *MPP) Network() *torus.Network { return m.net }
 
+// Probe implements Machine.
+func (m *MPP) Probe() *probe.Probe { return m.probe }
+
 // ResetTiming implements Machine.
 func (m *MPP) ResetTiming() {
 	resetNodes(m.nodes)
 	m.net.Reset()
-	m.router.LastDelivery = 0
-	m.router.RemoteWrites = 0
+	m.router.Reset()
+	// A fresh measurement pass starts with a clean slate: every
+	// registered counter back to zero and the trace ring rewound.
+	m.probe.Reset()
 }
 
 // ColdReset implements Machine.
 func (m *MPP) ColdReset() {
 	coldNodes(m.nodes)
 	m.net.Reset()
-	m.router.LastDelivery = 0
-	m.router.RemoteWrites = 0
+	m.router.Reset()
+	m.probe.Reset()
 }
 
 // Transfer implements Machine.

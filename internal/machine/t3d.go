@@ -4,6 +4,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/cpu"
 	"repro/internal/node"
+	"repro/internal/probe"
 	"repro/internal/remote"
 	"repro/internal/stream"
 	"repro/internal/torus"
@@ -19,8 +20,10 @@ func NewT3D(n int) *MPP {
 		n = 1
 	}
 	x, y, z := torusShape(n)
+	p := probe.New()
 	net := torus.New(torus.Config{
 		X: x, Y: y, Z: z,
+		Probe: p.Scope("torus").WithTid(tidMem),
 		// Injection: 100 ns per message plus 3.5 ns/B. A coalesced
 		// 32 B deposit packet (plus 8 B address header, "both
 		// address and data are sent over the network", §3.2)
@@ -35,22 +38,21 @@ func NewT3D(n int) *MPP {
 		RecvFactor:  0.5,
 	})
 
-	m := &MPP{name: "Cray T3D", kind: kindT3D, net: net}
+	m := &MPP{name: "Cray T3D", kind: kindT3D, net: net, probe: p}
 	for i := 0; i < n; i++ {
-		m.nodes = append(m.nodes, node.New(i, t3dNode()))
+		cfg := t3dNode()
+		cfg.Probe = nodeScope(p, i)
+		m.nodes = append(m.nodes, node.New(i, cfg))
 	}
-	m.router = &remote.DepositRouter{
-		Net:         net,
-		Owner:       Owner,
-		Nodes:       m.nodes,
-		HeaderBytes: 8,
-	}
+	m.router = remote.NewDepositRouter(net, Owner, m.nodes, units.Word,
+		p.Scope("deposit").WithTid(tidBus))
 	m.fifo = remote.FIFOConfig{
 		// The external FIFO pre-fetch queue (§3.2).
 		Depth:         16,
 		RequestBytes:  16,
 		ResponseBytes: 16,
 		IssueSlot:     cpu.EV4().LoadSlot(),
+		Probe:         p.Scope("fifo").WithTid(tidCoh),
 	}
 	m.wireRemote(2*units.Word, 2*units.Word)
 	return m

@@ -4,6 +4,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/cpu"
 	"repro/internal/node"
+	"repro/internal/probe"
 	"repro/internal/remote"
 	"repro/internal/stream"
 	"repro/internal/torus"
@@ -19,8 +20,10 @@ func NewT3E(n int) *MPP {
 		n = 1
 	}
 	x, y, z := torusShape(n)
+	p := probe.New()
 	net := torus.New(torus.Config{
 		X: x, Y: y, Z: z,
+		Probe: p.Scope("torus").WithTid(tidMem),
 		// E-register traffic: a vectorized 64 B block occupies the
 		// NI for 41+128 = 169 ns -> ~380 MB/s raw, landing at the
 		// ~350 MB/s contiguous transfer plateau of Figures 7/8
@@ -34,20 +37,19 @@ func NewT3E(n int) *MPP {
 		RecvFactor:  0.5,
 	})
 
-	m := &MPP{name: "Cray T3E", kind: kindT3E, net: net}
+	m := &MPP{name: "Cray T3E", kind: kindT3E, net: net, probe: p}
 	for i := 0; i < n; i++ {
-		m.nodes = append(m.nodes, node.New(i, t3eNode()))
+		cfg := t3eNode()
+		cfg.Probe = nodeScope(p, i)
+		m.nodes = append(m.nodes, node.New(i, cfg))
 	}
-	m.router = &remote.DepositRouter{
-		Net:         net,
-		Owner:       Owner,
-		Nodes:       m.nodes,
-		HeaderBytes: 8,
-	}
+	m.router = remote.NewDepositRouter(net, Owner, m.nodes, units.Word,
+		p.Scope("deposit").WithTid(tidBus))
 	m.ereg = remote.ERegConfig{
 		Registers:  512, // the 512 E-registers (§5.6)
 		BlockBytes: 64,
 		IssueSlot:  cpu.EV5().Clock.Cycles(2),
+		Probe:      p.Scope("ereg").WithTid(tidEng),
 	}
 	m.wireRemote(2*units.Word, 2*units.Word)
 	return m
@@ -63,6 +65,9 @@ func NewT3ENoStreams(n int) *MPP {
 	for i := range m.nodes {
 		cfg := t3eNode()
 		cfg.DRAM.Stream.Enabled = false
+		// Counter registration is idempotent, so the rebuilt nodes
+		// reattach to the same registry slots.
+		cfg.Probe = nodeScope(m.probe, i)
 		m.nodes[i] = node.New(i, cfg)
 	}
 	m.router.Nodes = m.nodes

@@ -19,7 +19,7 @@ func (n *Node) EngineWrite(a access.Addr, nb units.Bytes, now units.Time) units.
 	for l := a &^ (lineBytes - 1); l <= last; l += lineBytes {
 		n.InvalidateLine(l)
 	}
-	n.stats.EngineWrites++
+	n.engineWrites.Inc()
 	return n.dramWrite(a, nb, now)
 }
 
@@ -49,7 +49,7 @@ func (n *Node) EngineRead(a access.Addr, nb units.Bytes, now units.Time) units.T
 	}
 	n.engRead = a + access.Addr(nb)
 	n.engReadOK = true
-	n.stats.EngineReads++
+	n.engineReads.Inc()
 	start := n.port.Acquire(now, occ)
 	return start + occ
 }

@@ -14,8 +14,8 @@ func (n *Node) LoadWord(a access.Addr) {
 	slot := n.cfg.CPU.LoadSlot()
 	ready := n.resolveLoad(a, now)
 	stall := n.window.Stall(now, ready, slot)
-	n.stats.Loads++
-	n.stats.LoadStall += stall
+	n.loads.Inc()
+	n.loadStall.Add(stall)
 	n.clock.Advance(slot + stall)
 }
 
@@ -33,7 +33,11 @@ func (n *Node) resolveLoad(a access.Addr, now units.Time) units.Time {
 	// processing elements do not cache all global memory", §1):
 	// every naive remote load is a full network round trip.
 	if n.remoteAddr(a) && n.remoteRd != nil {
-		return n.remoteRd(a, units.Word, now)
+		ready := n.remoteRd(a, units.Word, now)
+		if t := n.ps.Tracer(); t != nil {
+			t.Span("remote.read", "net", n.ps.TID(), now, ready)
+		}
+		return ready
 	}
 	if len(n.caches) == 0 {
 		return n.dramFill(a, now)
@@ -105,6 +109,10 @@ func (n *Node) chargeFill(j int, a access.Addr, now units.Time) units.Time {
 
 	start := n.fills[j].Acquire(now, occ)
 	ready := start + occ
+	n.fillTime[j].Add(occ)
+	if t := n.ps.Tracer(); t != nil {
+		t.Span(n.fillEv[j], "mem", n.ps.TID(), start, ready)
+	}
 	n.lastValid[j] = true
 	n.lastLine[j] = line
 	n.lastReady[j] = ready
@@ -145,7 +153,11 @@ func (n *Node) dramFill(a access.Addr, now units.Time) units.Time {
 		if start+occ > ready {
 			ready = start + occ
 		}
-		n.stats.DRAMFills++
+		n.dramFills.Inc()
+		n.dramFillTime.Add(occ)
+		if t := n.ps.Tracer(); t != nil {
+			t.Span("dram.fill", "mem", n.ps.TID(), start, ready)
+		}
 		n.dramValid = true
 		n.dramLast = line
 		n.dramReady = ready
@@ -160,7 +172,7 @@ func (n *Node) dramFill(a access.Addr, now units.Time) units.Time {
 	switch {
 	case streaming:
 		occ = d.SeqOcc
-		n.stats.DRAMStreamFills++
+		n.dramStreamFills.Inc()
 	case sequential:
 		occ = d.SeqOccNoStream
 	default:
@@ -173,7 +185,11 @@ func (n *Node) dramFill(a access.Addr, now units.Time) units.Time {
 	if bankDone > ready {
 		ready = bankDone
 	}
-	n.stats.DRAMFills++
+	n.dramFills.Inc()
+	n.dramFillTime.Add(occ)
+	if t := n.ps.Tracer(); t != nil {
+		t.Span("dram.fill", "mem", n.ps.TID(), start, ready)
+	}
 	n.dramValid = true
 	n.dramLast = line
 	n.dramReady = ready

@@ -16,10 +16,14 @@
 package node
 
 import (
+	"fmt"
+	"strings"
+
 	"repro/internal/access"
 	"repro/internal/cache"
 	"repro/internal/cpu"
 	"repro/internal/dram"
+	"repro/internal/probe"
 	"repro/internal/sim"
 	"repro/internal/stream"
 	"repro/internal/units"
@@ -123,6 +127,12 @@ type Config struct {
 	Levels []LevelSpec
 	DRAM   DRAMSpec
 	WB     WriteBufferSpec
+
+	// Probe is the node's registration scope; every component of the
+	// node registers its counters under it (node0.l1, node0.dram,
+	// node0.wb, ...). A zero scope makes the node build a private
+	// probe, so standalone nodes (tests) still count.
+	Probe probe.Scope
 }
 
 // Node is one processing element with its local memory system.
@@ -170,10 +180,32 @@ type Node struct {
 	storeRunNext access.Addr
 	storeRunLen  int64
 
-	stats Stats
+	// ps is the node's probe scope; every counter below registers
+	// under it, so ResetTiming can zero the whole node's statistics
+	// with one prefix reset.
+	ps              probe.Scope
+	loads, stores   probe.Counter
+	loadStall       probe.TimeCounter
+	storeStall      probe.TimeCounter
+	dramFills       probe.Counter
+	dramStreamFills probe.Counter
+	engineReads     probe.Counter
+	engineWrites    probe.Counter
+
+	// attribution counters: busy time charged to each provider level
+	// and to the DRAM channels (fillTime[0] is unused — L1 hits are
+	// free).
+	fillTime      []probe.TimeCounter
+	dramFillTime  probe.TimeCounter
+	dramWriteTime probe.TimeCounter
+
+	// fillEv[j] is the precomputed trace span name for level-j fills
+	// ("l2.fill"), so emission never formats strings.
+	fillEv []string
 }
 
-// Stats aggregates a node's activity.
+// Stats is the comparable view of a node's activity counters. The
+// storage lives in the probe registry; Stats is assembled on demand.
 type Stats struct {
 	Loads, Stores   int64
 	LoadStall       units.Time
@@ -186,14 +218,35 @@ type Stats struct {
 
 // New builds a node from its configuration.
 func New(id int, cfg Config) *Node {
+	ps := cfg.Probe
+	if !ps.Valid() {
+		ps = probe.New().Scope(defaultScopeName(id))
+	}
 	n := &Node{
 		ID:     id,
 		cfg:    cfg,
 		window: sim.Window{Depth: cfg.CPU.HideDepth},
-		det:    stream.New(cfg.DRAM.Stream),
+		ps:     ps,
 	}
-	for _, ls := range cfg.Levels {
-		n.caches = append(n.caches, cache.New(ls.Cache))
+	n.cfg.DRAM.Stream.Probe = ps.Child("stream")
+	n.det = stream.New(n.cfg.DRAM.Stream)
+	// Copy the level slice before installing per-level probe scopes:
+	// the caller may share one config value across nodes.
+	n.cfg.Levels = append([]LevelSpec(nil), cfg.Levels...)
+	n.fillTime = make([]probe.TimeCounter, len(cfg.Levels))
+	n.fillEv = make([]string, len(cfg.Levels))
+	for i, ls := range cfg.Levels {
+		lvlName := strings.ToLower(ls.Cache.Name)
+		if lvlName == "" {
+			lvlName = fmt.Sprintf("l%d", i+1)
+		}
+		lvl := ps.Child(lvlName)
+		n.cfg.Levels[i].Cache.Probe = lvl
+		n.caches = append(n.caches, cache.New(n.cfg.Levels[i].Cache))
+		n.fillEv[i] = lvlName + ".fill"
+		if i > 0 {
+			n.fillTime[i] = lvl.TimeCounter("fill_time")
+		}
 	}
 	n.fills = make([]sim.Resource, len(cfg.Levels))
 	n.lastLine = make([]access.Addr, len(cfg.Levels))
@@ -203,6 +256,7 @@ func New(id int, cfg Config) *Node {
 	if cfg.DRAM.LineBytes <= 0 {
 		n.cfg.DRAM.LineBytes = 64
 	}
+	dramScope := ps.Child("dram")
 	n.banks = dram.New(dram.Config{
 		Name:            "dram",
 		Banks:           cfg.DRAM.Banks,
@@ -211,9 +265,35 @@ func New(id int, cfg Config) *Node {
 		RowHit:          cfg.DRAM.BankOcc,
 		RowMiss:         cfg.DRAM.BankOcc + cfg.DRAM.RowPenalty,
 		PerByte:         0,
+		Probe:           dramScope,
 	})
-	n.wb = cache.WriteBuffer{Entries: cfg.WB.Entries, EntryBytes: cfg.WB.EntryBytes}
+	n.dramFillTime = dramScope.TimeCounter("fill_time")
+	n.dramWriteTime = dramScope.TimeCounter("write_time")
+	wbScope := ps.Child("wb")
+	n.wb = cache.WriteBuffer{
+		Entries:      cfg.WB.Entries,
+		EntryBytes:   cfg.WB.EntryBytes,
+		Drained:      wbScope.Counter("drained"),
+		DrainedBytes: wbScope.ByteCounter("drained_bytes"),
+	}
+	n.loads = ps.Counter("loads")
+	n.stores = ps.Counter("stores")
+	n.loadStall = ps.TimeCounter("load_stall")
+	n.storeStall = ps.TimeCounter("store_stall")
+	n.dramFills = ps.Counter("dram_fills")
+	n.dramStreamFills = ps.Counter("dram_stream_fills")
+	n.engineReads = ps.Counter("engine_reads")
+	n.engineWrites = ps.Counter("engine_writes")
 	return n
+}
+
+// defaultScopeName names the private probe scope of a standalone
+// node: "node<i>", or "mem" for the shared-memory pseudo-node id -1.
+func defaultScopeName(id int) string {
+	if id < 0 {
+		return "mem"
+	}
+	return fmt.Sprintf("node%d", id)
 }
 
 // SetBackend attaches a shared-memory backend; fills and writes that
@@ -257,7 +337,21 @@ func (n *Node) AdvanceTo(t units.Time) { n.clock.AdvanceTo(t) }
 func (n *Node) Advance(d units.Time) { n.clock.Advance(d) }
 
 // Stats returns a snapshot of the activity counters.
-func (n *Node) Stats() Stats { return n.stats }
+func (n *Node) Stats() Stats {
+	return Stats{
+		Loads:           n.loads.Get(),
+		Stores:          n.stores.Get(),
+		LoadStall:       n.loadStall.Get(),
+		StoreStall:      n.storeStall.Get(),
+		DRAMFills:       n.dramFills.Get(),
+		DRAMStreamFills: n.dramStreamFills.Get(),
+		EngineReads:     n.engineReads.Get(),
+		EngineWrites:    n.engineWrites.Get(),
+	}
+}
+
+// Scope returns the node's probe registration scope.
+func (n *Node) Scope() probe.Scope { return n.ps }
 
 // CacheStats returns the per-level cache counters.
 func (n *Node) CacheStats() []cache.Stats {
@@ -279,7 +373,6 @@ func (n *Node) ResetTiming() {
 	n.clock.Reset()
 	for i := range n.fills {
 		n.fills[i].Reset()
-		n.caches[i].ResetStats()
 		n.lastLine[i] = 0
 		n.lastReady[i] = 0
 		n.lastValid[i] = false
@@ -288,7 +381,6 @@ func (n *Node) ResetTiming() {
 	n.port.Reset()
 	n.writePort.Reset()
 	n.banks.Reset()
-	n.banks.ResetStats()
 	n.det.Reset()
 	n.dramLast = 0
 	n.dramValid = false
@@ -299,7 +391,12 @@ func (n *Node) ResetTiming() {
 	n.engWrite = 0
 	n.engReadOK = false
 	n.engWriteOK = false
-	n.stats = Stats{}
+	// One prefix reset replaces the per-component stat zeroing the
+	// node used to hand-roll (cache ResetStats, bank ResetStats, the
+	// node's own Stats struct): every counter of this node — cache
+	// levels, DRAM, write buffer, stream detector, attribution — is
+	// registered under n.ps.
+	n.ps.Reset()
 }
 
 // InvalidateCaches drops every cache line on the node (the T3D's

@@ -24,8 +24,8 @@ func (n *Node) LoadRun(start access.Addr, step, count int64) {
 		now := n.clock.Now()
 		ready := n.resolveLoad(a, now)
 		stall := n.window.StallHidden(now, ready, hide)
-		n.stats.Loads++
-		n.stats.LoadStall += stall
+		n.loads.Inc()
+		n.loadStall.Add(stall)
 		n.clock.Advance(slot + stall)
 		a += access.Addr(step)
 	}
@@ -39,8 +39,8 @@ func (n *Node) StoreRun(start access.Addr, step, count int64) {
 	for i := int64(0); i < count; i++ {
 		now := n.clock.Now()
 		stall := n.resolveStore(a, now)
-		n.stats.Stores++
-		n.stats.StoreStall += stall
+		n.stores.Inc()
+		n.storeStall.Add(stall)
 		n.clock.Advance(slot + stall)
 		a += access.Addr(step)
 	}
@@ -98,10 +98,10 @@ func (n *Node) CopyRun(src access.Addr, srcStep int64, dst access.Addr, dstStep 
 		ready := n.resolveLoad(src, now)
 		loadStall = n.window.StallHidden(now, ready, hide)
 		storeStall = n.resolveStore(dst, now+loadStall)
-		n.stats.Loads++
-		n.stats.Stores++
-		n.stats.LoadStall += loadStall
-		n.stats.StoreStall += storeStall
+		n.loads.Inc()
+		n.stores.Inc()
+		n.loadStall.Add(loadStall)
+		n.storeStall.Add(storeStall)
 		n.clock.Advance(slot + loadStall + storeStall)
 		src += access.Addr(srcStep)
 		dst += access.Addr(dstStep)

@@ -13,8 +13,8 @@ func (n *Node) StoreWord(a access.Addr) {
 	now := n.clock.Now()
 	slot := n.cfg.CPU.StoreSlot()
 	stall := n.resolveStore(a, now)
-	n.stats.Stores++
-	n.stats.StoreStall += stall
+	n.stores.Inc()
+	n.storeStall.Add(stall)
 	n.clock.Advance(slot + stall)
 }
 
@@ -26,10 +26,10 @@ func (n *Node) CopyWord(src, dst access.Addr) {
 	ready := n.resolveLoad(src, now)
 	loadStall := n.window.Stall(now, ready, slot)
 	storeStall := n.resolveStore(dst, now+loadStall)
-	n.stats.Loads++
-	n.stats.Stores++
-	n.stats.LoadStall += loadStall
-	n.stats.StoreStall += storeStall
+	n.loads.Inc()
+	n.stores.Inc()
+	n.loadStall.Add(loadStall)
+	n.storeStall.Add(storeStall)
 	n.clock.Advance(slot + loadStall + storeStall)
 }
 
@@ -133,10 +133,18 @@ func (n *Node) memWrite(a access.Addr, nb units.Bytes, now units.Time) units.Tim
 		if start+occ > done {
 			done = start + occ
 		}
+		n.dramWriteTime.Add(occ)
+		if t := n.ps.Tracer(); t != nil {
+			t.Span("dram.write", "mem", n.ps.TID(), start, done)
+		}
 		return done
 	}
 	if n.remoteAddr(a) && n.remoteWr != nil {
-		return n.remoteWr(a, nb, now)
+		done := n.remoteWr(a, nb, now)
+		if t := n.ps.Tracer(); t != nil {
+			t.Span("remote.write", "net", n.ps.TID(), now, done)
+		}
+		return done
 	}
 	return n.dramWrite(a, nb, now)
 }
@@ -169,8 +177,13 @@ func (n *Node) dramWrite(a access.Addr, nb units.Bytes, now units.Time) units.Ti
 	}
 	start := ch.Acquire(now, occ)
 	bankDone := n.banks.Access(a, 0, start)
-	if bankDone > start+occ {
-		return bankDone
+	done := start + occ
+	if bankDone > done {
+		done = bankDone
 	}
-	return start + occ
+	n.dramWriteTime.Add(occ)
+	if t := n.ps.Tracer(); t != nil {
+		t.Span("dram.write", "mem", n.ps.TID(), start, done)
+	}
+	return done
 }

@@ -1,0 +1,26 @@
+package probe
+
+// Capture is the portable record of one measured point: a counter
+// snapshot plus (when tracing was enabled) a deep copy of the trace
+// events. The sweep pool collects one Capture per grid point so that
+// per-worker results can be reassembled in point order — the merged
+// output depends only on point indices, never on which worker ran
+// which point, keeping -j N byte-identical to -j 1.
+type Capture struct {
+	Counters Snapshot
+	Events   []Event
+	// Emitted is the total event count including any lost to ring
+	// wrap-around (Emitted > len(Events) means the ring was too
+	// small for this point).
+	Emitted int64
+}
+
+// Capture snapshots the probe's current counters and trace.
+func (p *Probe) Capture() Capture {
+	c := Capture{Counters: p.reg.Snapshot()}
+	if t := p.tracer; t != nil {
+		c.Events = t.Events()
+		c.Emitted = t.Emitted()
+	}
+	return c
+}

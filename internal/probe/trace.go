@@ -1,0 +1,174 @@
+package probe
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+
+	"repro/internal/units"
+)
+
+// DefaultTraceEvents is the ring capacity EnableTrace uses when the
+// caller does not pick one. At ~64 bytes per event this is a few MB —
+// enough to hold every event of one sweep point on any of the three
+// machines.
+const DefaultTraceEvents = 1 << 16
+
+// EventKind distinguishes spans (an interval of simulated time) from
+// instants (a point).
+type EventKind uint8
+
+const (
+	// SpanEvent covers [TS, TS+Dur) of simulated time.
+	SpanEvent EventKind = iota
+	// InstantEvent marks the single point TS.
+	InstantEvent
+)
+
+// Event is one trace record. Name and Cat must be static strings (no
+// per-event formatting on the emission path); ArgName/Arg carry an
+// optional numeric payload.
+type Event struct {
+	Name    string
+	Cat     string
+	Kind    EventKind
+	Tid     int32
+	TS      units.Time
+	Dur     units.Time
+	ArgName string
+	Arg     int64
+}
+
+// Tracer is a fixed-capacity ring of events stamped with simulated
+// time. Emission never allocates; when the ring is full the oldest
+// events are overwritten (the tail of a measurement is the part worth
+// keeping). All state is deterministic functions of the emission
+// sequence, which on a single simulated machine is itself
+// deterministic.
+type Tracer struct {
+	// buf is the ring storage. Reset rewinds the cursor instead of
+	// clearing the (potentially multi-MB) buffer; slots beyond the
+	// cursor are unreachable through Events.
+	buf     []Event //simlint:ignore statereset ring storage; Reset rewinds the cursor and stale slots are unreachable
+	next    int
+	wrapped bool
+	emitted int64
+}
+
+// NewTracer builds a tracer with the given ring capacity (minimum 1).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{buf: make([]Event, capacity)}
+}
+
+func (t *Tracer) push(e Event) {
+	t.buf[t.next] = e
+	t.next++
+	t.emitted++
+	if t.next == len(t.buf) {
+		t.next = 0
+		t.wrapped = true
+	}
+}
+
+// Span records the interval [start, end) on thread tid.
+func (t *Tracer) Span(name, cat string, tid int32, start, end units.Time) {
+	t.push(Event{Name: name, Cat: cat, Kind: SpanEvent, Tid: tid, TS: start, Dur: end - start})
+}
+
+// SpanArg records a span with a numeric payload.
+func (t *Tracer) SpanArg(name, cat string, tid int32, start, end units.Time, argName string, arg int64) {
+	t.push(Event{Name: name, Cat: cat, Kind: SpanEvent, Tid: tid, TS: start, Dur: end - start,
+		ArgName: argName, Arg: arg})
+}
+
+// Instant records the point ts on thread tid.
+func (t *Tracer) Instant(name, cat string, tid int32, ts units.Time) {
+	t.push(Event{Name: name, Cat: cat, Kind: InstantEvent, Tid: tid, TS: ts})
+}
+
+// InstantArg records an instant with a numeric payload.
+func (t *Tracer) InstantArg(name, cat string, tid int32, ts units.Time, argName string, arg int64) {
+	t.push(Event{Name: name, Cat: cat, Kind: InstantEvent, Tid: tid, TS: ts,
+		ArgName: argName, Arg: arg})
+}
+
+// Len returns the number of events currently held in the ring.
+func (t *Tracer) Len() int {
+	if t.wrapped {
+		return len(t.buf)
+	}
+	return t.next
+}
+
+// Emitted returns the total number of events emitted since the last
+// Reset, including any overwritten by ring wrap-around.
+func (t *Tracer) Emitted() int64 { return t.emitted }
+
+// Dropped returns how many events were overwritten by wrap-around.
+func (t *Tracer) Dropped() int64 { return t.emitted - int64(t.Len()) }
+
+// Events returns the held events oldest-first, as a fresh slice.
+func (t *Tracer) Events() []Event {
+	out := make([]Event, 0, t.Len())
+	if t.wrapped {
+		out = append(out, t.buf[t.next:]...)
+	}
+	return append(out, t.buf[:t.next]...)
+}
+
+// Reset rewinds the ring: subsequent Events calls see only events
+// emitted after the reset.
+func (t *Tracer) Reset() {
+	t.next = 0
+	t.wrapped = false
+	t.emitted = 0
+}
+
+// WriteTrace writes events as Chrome trace_event JSON (the format
+// Perfetto and chrome://tracing open). Timestamps and durations are
+// microseconds per the format's convention, printed with fixed
+// six-decimal precision so output is byte-deterministic; simulated
+// time has nanosecond granularity, which six decimals preserve.
+func WriteTrace(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n")
+	for i, ev := range events {
+		if i > 0 {
+			bw.WriteString(",\n")
+		}
+		bw.WriteString("{\"name\":")
+		bw.WriteString(strconv.Quote(ev.Name))
+		bw.WriteString(",\"cat\":")
+		bw.WriteString(strconv.Quote(ev.Cat))
+		if ev.Kind == SpanEvent {
+			bw.WriteString(",\"ph\":\"X\",\"ts\":")
+			writeMicros(bw, ev.TS)
+			bw.WriteString(",\"dur\":")
+			writeMicros(bw, ev.Dur)
+		} else {
+			bw.WriteString(",\"ph\":\"i\",\"s\":\"t\",\"ts\":")
+			writeMicros(bw, ev.TS)
+		}
+		bw.WriteString(",\"pid\":0,\"tid\":")
+		bw.WriteString(strconv.FormatInt(int64(ev.Tid), 10))
+		if ev.ArgName != "" {
+			bw.WriteString(",\"args\":{")
+			bw.WriteString(strconv.Quote(ev.ArgName))
+			bw.WriteString(":")
+			bw.WriteString(strconv.FormatInt(ev.Arg, 10))
+			bw.WriteString("}")
+		}
+		bw.WriteString("}")
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+// writeMicros prints a simulated time as microseconds with fixed
+// precision (trace_event timestamps are microseconds).
+func writeMicros(bw *bufio.Writer, t units.Time) {
+	bw.WriteString(strconv.FormatFloat(float64(t)/1e3, 'f', 6, 64))
+}

@@ -19,6 +19,7 @@ package remote
 import (
 	"repro/internal/access"
 	"repro/internal/node"
+	"repro/internal/probe"
 	"repro/internal/torus"
 	"repro/internal/units"
 )
@@ -33,6 +34,9 @@ type FIFOConfig struct {
 	ResponseBytes units.Bytes
 	// IssueSlot is the consumer's per-element issue cost.
 	IssueSlot units.Time
+	// Probe is the registration scope for the FIFO's counters; a
+	// zero scope leaves them detached.
+	Probe probe.Scope
 }
 
 // FetchFIFO pulls the words of cp from the src node's memory into the
@@ -48,6 +52,8 @@ func FetchFIFO(net *torus.Network, src, dst *node.Node, cp access.CopyPattern, c
 	if cfg.Depth < 1 {
 		cfg.Depth = 1
 	}
+	windows := cfg.Probe.Counter("windows")
+	elements := cfg.Probe.Counter("elements")
 	loads := make([]access.Addr, 0, cfg.Depth)
 	stores := make([]access.Addr, 0, cfg.Depth)
 	reqs := make([]units.Time, cfg.Depth)
@@ -57,6 +63,9 @@ func FetchFIFO(net *torus.Network, src, dst *node.Node, cp access.CopyPattern, c
 		if len(loads) == 0 {
 			return
 		}
+		windows.Inc()
+		elements.Add(int64(len(loads)))
+		wstart := now
 		for i := range loads {
 			reqs[i] = net.Send(dst.ID, src.ID, cfg.RequestBytes, now)
 			now += cfg.IssueSlot
@@ -77,6 +86,10 @@ func FetchFIFO(net *torus.Network, src, dst *node.Node, cp access.CopyPattern, c
 		// appear once this window's first response has returned.
 		if firstDone > now {
 			now = firstDone
+		}
+		if t := cfg.Probe.Tracer(); t != nil {
+			t.SpanArg("fifo.window", "net", cfg.Probe.TID(), wstart, last,
+				"elements", int64(len(loads)))
 		}
 		loads = loads[:0]
 		stores = stores[:0]
@@ -107,6 +120,9 @@ type ERegConfig struct {
 	// IssueSlot is the processor's per-operation cost of launching
 	// an E-register get/put.
 	IssueSlot units.Time
+	// Probe is the registration scope for the engine's counters; a
+	// zero scope leaves them detached.
+	Probe probe.Scope
 }
 
 // Dir is the direction of an E-register transfer.
@@ -189,6 +205,7 @@ func EReg(net *torus.Network, local, rem *node.Node, cp access.CopyPattern, dir 
 		srcNode, dstNode = rem, local
 	}
 
+	ops := cfg.Probe.Counter("ops")
 	outstanding := make(timeHeap, 0, cfg.Registers)
 	var now, last units.Time
 	issue := func(la, sa access.Addr) {
@@ -200,6 +217,10 @@ func EReg(net *torus.Network, local, rem *node.Node, cp access.CopyPattern, dir 
 		readDone := srcNode.EngineRead(la, chunk, now+cfg.IssueSlot)
 		arrive := net.Send(srcNode.ID, dstNode.ID, chunk, readDone)
 		done := dstNode.EngineWrite(sa, chunk, arrive)
+		ops.Inc()
+		if t := cfg.Probe.Tracer(); t != nil {
+			t.SpanArg("ereg.op", "net", cfg.Probe.TID(), now, done, "bytes", int64(chunk))
+		}
 		outstanding.push(done)
 		if done > last {
 			last = done
@@ -245,12 +266,48 @@ type DepositRouter struct {
 	// to each payload ("both address and data are sent over the
 	// network", §3.2).
 	HeaderBytes units.Bytes
+	// Probe is the registration scope for the router's counters; a
+	// zero scope leaves them detached.
+	Probe probe.Scope
 
 	// LastDelivery is the completion time of the latest remote
 	// write (the transfer is done when the last deposit lands).
 	LastDelivery units.Time
-	// RemoteWrites counts packets routed.
-	RemoteWrites int64
+	// remoteWrites counts packets routed; lazily bound from Probe on
+	// first use so composite-literal construction keeps working.
+	remoteWrites probe.Counter
+	bound        bool
+}
+
+// NewDepositRouter builds a deposit router with its counters
+// registered under ps.
+func NewDepositRouter(net *torus.Network, owner func(access.Addr) int,
+	nodes []*node.Node, headerBytes units.Bytes, ps probe.Scope) *DepositRouter {
+	d := &DepositRouter{Net: net, Owner: owner, Nodes: nodes,
+		HeaderBytes: headerBytes, Probe: ps}
+	d.bind()
+	return d
+}
+
+func (d *DepositRouter) bind() {
+	if !d.Probe.Valid() {
+		d.Probe = probe.New().Scope("deposit")
+	}
+	d.remoteWrites = d.Probe.Counter("remote_writes")
+	d.bound = true
+}
+
+// RemoteWrites returns the number of packets routed remotely.
+func (d *DepositRouter) RemoteWrites() int64 { return d.remoteWrites.Get() }
+
+// Reset clears the router's delivery tracking and counters between
+// measurements.
+func (d *DepositRouter) Reset() {
+	d.LastDelivery = 0
+	// Rebinding is idempotent; doing it here keeps the counter
+	// handles attached even for literal-constructed routers.
+	d.bind()
+	d.Probe.Reset()
 }
 
 // Write delivers nb bytes at global address a from node src, routing
@@ -259,6 +316,9 @@ type DepositRouter struct {
 // the write-queue slot); the full delivery is tracked in
 // LastDelivery for end-of-transfer synchronization.
 func (d *DepositRouter) Write(src *node.Node, a access.Addr, nb units.Bytes, now units.Time) units.Time {
+	if !d.bound {
+		d.bind()
+	}
 	home := d.Owner(a)
 	if home == src.ID {
 		return src.EngineWrite(a, nb, now)
@@ -268,7 +328,10 @@ func (d *DepositRouter) Write(src *node.Node, a access.Addr, nb units.Bytes, now
 	if done > d.LastDelivery {
 		d.LastDelivery = done
 	}
-	d.RemoteWrites++
+	d.remoteWrites.Inc()
+	if t := d.Probe.Tracer(); t != nil {
+		t.InstantArg("deposit.remote", "net", int32(home), arrive, "bytes", int64(nb))
+	}
 	injected := d.Net.NIBusyUntil(src.ID, now)
 	if injected < now {
 		injected = now

@@ -7,6 +7,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/cpu"
 	"repro/internal/node"
+	"repro/internal/probe"
 	"repro/internal/torus"
 	"repro/internal/units"
 )
@@ -95,18 +96,18 @@ func TestERegGetAndPutMoveSameData(t *testing.T) {
 func TestDepositRouterLocalVsRemote(t *testing.T) {
 	net := testNet()
 	nodes := []*node.Node{t3dLikeNode(0), t3dLikeNode(1), t3dLikeNode(2), t3dLikeNode(3)}
-	r := &DepositRouter{Net: net, Owner: func(a access.Addr) int { return int(a >> 32) },
-		Nodes: nodes, HeaderBytes: 8}
+	r := NewDepositRouter(net, func(a access.Addr) int { return int(a >> 32) },
+		nodes, 8, probe.Scope{})
 
 	// Local write does not touch the network.
 	r.Write(nodes[0], 0x100, 32, 0)
-	if r.RemoteWrites != 0 || net.MessagesSent != 0 {
+	if r.RemoteWrites() != 0 || net.Stats().MessagesSent != 0 {
 		t.Errorf("local write must not use the network")
 	}
 
 	// Remote write is routed and tracked.
 	injected := r.Write(nodes[0], access.Addr(2)<<32, 32, 0)
-	if r.RemoteWrites != 1 || net.MessagesSent != 1 {
+	if r.RemoteWrites() != 1 || net.Stats().MessagesSent != 1 {
 		t.Errorf("remote write not routed")
 	}
 	if r.LastDelivery <= injected {

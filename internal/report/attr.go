@@ -1,0 +1,83 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/access"
+	"repro/internal/bench"
+	"repro/internal/machine"
+	"repro/internal/probe"
+	"repro/internal/sweep"
+	"repro/internal/units"
+)
+
+// attrStrides and attrWS form the reduced grid of the attribution
+// surface: enough points to show the stride texture (unit, line,
+// bank-conflict) across the cache-capacity tiers without re-running
+// the full figure sweeps.
+var (
+	attrStrides = []int{1, 2, 4, 16, 64, 128}
+	attrWS      = []units.Bytes{16 * units.KB, 128 * units.KB, units.MB, 8 * units.MB}
+)
+
+// AttributionFigure runs the Load Sum benchmark over a reduced stride
+// x working-set grid and reports, for every point, where the
+// simulated time went: each time-kind counter under node 0's scope as
+// a share of the elapsed measurement pass. The counters come from the
+// machine's probe registry via sweep.RunCaptured, so the surface is
+// identical whatever the pool's worker count.
+func AttributionFigure(p *sweep.Pool, maxWS units.Bytes) (string, error) {
+	type point struct {
+		ws     units.Bytes
+		stride int
+	}
+	var grid []point
+	for _, ws := range attrWS {
+		if ws > maxWS {
+			break
+		}
+		for _, s := range attrStrides {
+			grid = append(grid, point{ws, s})
+		}
+	}
+
+	bw := make([]units.BytesPerSec, len(grid))
+	elapsed := make([]units.Time, len(grid))
+	caps, err := p.RunCaptured(len(grid), func(m machine.Machine, i int) error {
+		g := grid[i]
+		bw[i] = bench.LoadSum(m, 0, access.Pattern{
+			Base: machine.LocalBase(0), WorkingSet: g.ws, Stride: g.stride})
+		elapsed[i] = m.Node(0).Now()
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: load-sum cycle attribution (share of elapsed simulated time)\n",
+		p.Machine().Name())
+	for i, g := range grid {
+		fmt.Fprintf(&b, "\nws=%v stride=%d  %v  elapsed=%sns\n",
+			g.ws, g.stride, bw[i], formatNS(elapsed[i]))
+		for _, v := range caps[i].Counters.NonZero() {
+			if v.Kind != probe.KindTime || !strings.HasPrefix(v.Name, "node0.") {
+				continue
+			}
+			share := 0.0
+			if elapsed[i] > 0 {
+				share = 100 * float64(v.Time) / float64(elapsed[i])
+			}
+			fmt.Fprintf(&b, "  %-28s %12sns %6.1f%%\n",
+				strings.TrimPrefix(v.Name, "node0."), formatNS(v.Time), share)
+		}
+	}
+	return b.String(), nil
+}
+
+// formatNS renders a simulated duration with fixed precision so the
+// attribution tables are byte-stable across runs and worker counts.
+func formatNS(t units.Time) string {
+	return fmt.Sprintf("%.1f", float64(t))
+}

@@ -82,6 +82,23 @@ func Pools(workers int) map[string]*sweep.Pool {
 	return ps
 }
 
+// TracedPools is Pools with event tracing enabled on every worker's
+// machine (the `figures -trace` path; scripts/bench.sh measures its
+// overhead against the default untraced pools).
+func TracedPools(workers int) map[string]*sweep.Pool {
+	ps := make(map[string]*sweep.Pool)
+	for k, f := range Factories() {
+		f := f
+		traced := func() machine.Machine {
+			m := f()
+			m.Probe().EnableTrace(0)
+			return m
+		}
+		ps[k] = sweep.NewPool(traced, workers)
+	}
+	return ps
+}
+
 // Names returns the machine keys in sorted order. Every loop over
 // Machines() must iterate these, never the map itself, so figures,
 // CSV artifacts, and progress logs come out byte-for-byte identical

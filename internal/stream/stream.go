@@ -15,6 +15,7 @@ package stream
 
 import (
 	"repro/internal/access"
+	"repro/internal/probe"
 	"repro/internal/units"
 )
 
@@ -39,6 +40,10 @@ type Config struct {
 	// MB/s, Figures 3 vs 10). The T3E's stream buffers track
 	// several streams and are not disturbed.
 	WriteInterrupts bool
+
+	// Probe is the registration scope for the detector's counters; a
+	// zero scope registers into a private probe.
+	Probe probe.Scope
 }
 
 type tracked struct {
@@ -53,10 +58,23 @@ type Detector struct {
 	streams []tracked
 	tick    int64
 
+	// established counts misses served in streaming mode; broken
+	// counts misses that started a new candidate stream.
+	established probe.Counter
+	broken      probe.Counter
+}
+
+// Stats is the comparable view of the detector's counters.
+type Stats struct {
 	// Established counts misses served in streaming mode.
 	Established int64
 	// Broken counts misses that started a new candidate stream.
 	Broken int64
+}
+
+// Stats returns a snapshot of the counters.
+func (d *Detector) Stats() Stats {
+	return Stats{Established: d.established.Get(), Broken: d.broken.Get()}
 }
 
 // New builds a detector; a zero-valued Config yields a disabled unit.
@@ -70,7 +88,14 @@ func New(cfg Config) *Detector {
 	if cfg.LineBytes <= 0 {
 		cfg.LineBytes = 32
 	}
-	return &Detector{cfg: cfg, streams: make([]tracked, cfg.Streams)}
+	d := &Detector{cfg: cfg, streams: make([]tracked, cfg.Streams)}
+	ps := cfg.Probe
+	if !ps.Valid() {
+		ps = probe.New().Scope("stream")
+	}
+	d.established = ps.Counter("established")
+	d.broken = ps.Counter("broken")
+	return d
 }
 
 // Config returns the detector's configuration.
@@ -94,7 +119,7 @@ func (d *Detector) OnMiss(lineAddr access.Addr) bool {
 			s.hits++
 			s.lastUse = d.tick
 			if s.hits > d.cfg.Threshold {
-				d.Established++
+				d.established.Inc()
 				return true
 			}
 			return false
@@ -109,7 +134,7 @@ func (d *Detector) OnMiss(lineAddr access.Addr) bool {
 		}
 	}
 	d.streams[victim] = tracked{next: lineAddr + line, hits: 1, lastUse: d.tick}
-	d.Broken++
+	d.broken.Inc()
 	return false
 }
 
@@ -130,6 +155,6 @@ func (d *Detector) Reset() {
 		d.streams[i] = tracked{}
 	}
 	d.tick = 0
-	d.Established = 0
-	d.Broken = 0
+	d.established.Reset()
+	d.broken.Reset()
 }

@@ -77,7 +77,7 @@ func TestReset(t *testing.T) {
 		d.OnMiss(access.Addr(i * 32))
 	}
 	d.Reset()
-	if d.Established != 0 || d.Broken != 0 {
+	if st := d.Stats(); st.Established != 0 || st.Broken != 0 {
 		t.Errorf("reset should clear counters")
 	}
 	if d.OnMiss(0) {

@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/machine"
+	"repro/internal/probe"
 )
 
 // Pool schedules sweep points over a fixed set of workers.
@@ -122,4 +123,23 @@ func (p *Pool) Run(n int, kernel func(m machine.Machine, i int) error) error {
 		}
 	}
 	return nil
+}
+
+// RunCaptured executes kernel like Run and additionally captures each
+// point's probe state (counter snapshot + trace events) right after
+// its kernel returns, before the worker's machine moves on to another
+// point. Captures land by index, so the returned slice is identical
+// whatever the worker count — the trace-merging contract that keeps
+// `-j N` output byte-equal to `-j 1`. Failed points carry a zero
+// Capture.
+func (p *Pool) RunCaptured(n int, kernel func(m machine.Machine, i int) error) ([]probe.Capture, error) {
+	caps := make([]probe.Capture, n)
+	err := p.Run(n, func(m machine.Machine, i int) error {
+		kerr := kernel(m, i)
+		if kerr == nil {
+			caps[i] = m.Probe().Capture()
+		}
+		return kerr
+	})
+	return caps, err
 }

@@ -9,6 +9,7 @@ package torus
 import (
 	"fmt"
 
+	"repro/internal/probe"
 	"repro/internal/sim"
 	"repro/internal/units"
 )
@@ -37,6 +38,10 @@ type Config struct {
 	// SharedNI pairs nodes 2k and 2k+1 on a single network access
 	// (Cray T3D).
 	SharedNI bool
+
+	// Probe is the registration scope for the network counters; a
+	// zero scope registers into a private probe.
+	Probe probe.Scope
 }
 
 // Network is a 3D torus with occupancy-tracked links and NIs.
@@ -55,9 +60,30 @@ type Network struct {
 	plans  [][][3]int //simlint:ignore statereset route cache is address-independent and deterministic; Reset keeps it warm on purpose
 	planOK []bool     //simlint:ignore statereset route cache is address-independent and deterministic; Reset keeps it warm on purpose
 
+	ps probe.Scope
+	// messagesSent and bytesSent count injected traffic; linkBytes
+	// counts the bytes carried per dimension and direction.
+	messagesSent probe.Counter
+	bytesSent    probe.ByteCounter
+	linkBytes    [3][2]probe.ByteCounter
+}
+
+// Stats is the comparable view of the network counters.
+type Stats struct {
 	// MessagesSent and BytesSent count injected traffic.
 	MessagesSent int64
 	BytesSent    units.Bytes
+}
+
+// Stats returns a snapshot of the counters.
+func (net *Network) Stats() Stats {
+	return Stats{MessagesSent: net.messagesSent.Get(), BytesSent: net.bytesSent.Get()}
+}
+
+// LinkBytes returns the bytes carried over links in dimension dim
+// (0=x,1=y,2=z) and direction dir (0=+,1=-).
+func (net *Network) LinkBytes(dim, dir int) units.Bytes {
+	return net.linkBytes[dim][dir].Get()
 }
 
 // New builds a torus network. Dimensions default to 1.
@@ -85,6 +111,20 @@ func New(cfg Config) *Network {
 	net.nis = make([]sim.Resource, nis)
 	net.plans = make([][][3]int, n*n)
 	net.planOK = make([]bool, n*n)
+	net.ps = cfg.Probe
+	if !net.ps.Valid() {
+		net.ps = probe.New().Scope("torus")
+	}
+	net.messagesSent = net.ps.Counter("messages")
+	net.bytesSent = net.ps.ByteCounter("bytes")
+	dimNames := [3]string{"x", "y", "z"}
+	dirNames := [2]string{"+", "-"}
+	for d := 0; d < 3; d++ {
+		for dir := 0; dir < 2; dir++ {
+			net.linkBytes[d][dir] = net.ps.Child("link").
+				Child(dimNames[d] + dirNames[dir]).ByteCounter("bytes")
+		}
+	}
 	return net
 }
 
@@ -168,8 +208,8 @@ func (net *Network) Hops(src, dst int) int { return len(net.hopPlan(src, dst)) }
 // directions, which is what makes the T3D's request/response fetch
 // path so much slower than its one-way deposits (§5.4).
 func (net *Network) Send(src, dst int, n units.Bytes, now units.Time) units.Time {
-	net.MessagesSent++
-	net.BytesSent += n
+	net.messagesSent.Inc()
+	net.bytesSent.Add(n)
 
 	occ := net.cfg.NIOverhead + net.cfg.NIPerByte.ByteCost(n)
 	start := net.nis[net.ni(src)].Acquire(now, occ)
@@ -182,6 +222,7 @@ func (net *Network) Send(src, dst int, n units.Bytes, now units.Time) units.Time
 		res := &net.links[hop[0]][hop[1]][hop[2]]
 		s := res.Acquire(t, xfer)
 		t = s + net.cfg.HopLatency
+		net.linkBytes[hop[0]][hop[1]].Add(n)
 	}
 	t += xfer
 	rocc := occ
@@ -189,7 +230,11 @@ func (net *Network) Send(src, dst int, n units.Bytes, now units.Time) units.Time
 		rocc = occ.Scale(net.cfg.RecvFactor)
 	}
 	recv := net.nis[net.ni(dst)].Acquire(t, rocc)
-	return recv + rocc
+	done := recv + rocc
+	if tr := net.ps.Tracer(); tr != nil {
+		tr.SpanArg("net.send", "net", int32(src), now, done, "bytes", int64(n))
+	}
+	return done
 }
 
 // NIBusyUntil returns the earliest time node id's network interface
@@ -210,8 +255,7 @@ func (net *Network) Reset() {
 	for i := range net.nis {
 		net.nis[i].Reset()
 	}
-	net.MessagesSent = 0
-	net.BytesSent = 0
+	net.ps.Reset()
 }
 
 // String describes the topology.

@@ -111,7 +111,7 @@ func TestResetClearsState(t *testing.T) {
 	n := net222()
 	n.Send(0, 7, 1024, 0)
 	n.Reset()
-	if n.MessagesSent != 0 || n.BytesSent != 0 {
+	if st := n.Stats(); st.MessagesSent != 0 || st.BytesSent != 0 {
 		t.Errorf("counters survive reset")
 	}
 	if got := n.Send(0, 1, 32, 0); got != 228+20+96+228 {

@@ -41,10 +41,23 @@ echo "== figures -all -j $JOBS =="
 TN=$(run "$TMP/par" "$JOBS")
 echo "   ${TN}s"
 
+# Tracing overhead: the same parallel sweep with the probe tracer
+# enabled on every machine (-trace) against the tracing-off run
+# above. The disabled path's cost is the guard test alone and must
+# stay within a few percent.
+echo "== figures -all -j $JOBS -trace =="
+start=$(date +%s.%N)
+"$TMP/figures" -all -trace -out "$TMP/traced" -j "$JOBS" \
+    >"$TMP/traced.stdout" 2>"$TMP/traced.stderr"
+end=$(date +%s.%N)
+TTRACE=$(echo "$start $end" | awk '{printf "%.2f", $2 - $1}')
+echo "   ${TTRACE}s"
+
 echo "== verifying determinism =="
 diff -r "$TMP/seq" "$TMP/par"
 cmp "$TMP/seq.stdout" "$TMP/par.stdout"
-echo "   artifacts byte-identical across worker counts"
+diff -r "$TMP/par" "$TMP/traced"
+echo "   artifacts byte-identical across worker counts and tracing"
 
 echo "== simlint ./... =="
 start=$(date +%s.%N)
@@ -54,8 +67,8 @@ TLINT=$(echo "$start $end" | awk '{printf "%.2f", $2 - $1}')
 echo "   ${TLINT}s"
 
 POINTS=$(cat "$TMP/seq.points")
-awk -v t1="$T1" -v tn="$TN" -v jobs="$JOBS" -v points="$POINTS" \
-    -v tlint="$TLINT" \
+awk -v t1="$T1" -v tn="$TN" -v ttrace="$TTRACE" -v jobs="$JOBS" \
+    -v points="$POINTS" -v tlint="$TLINT" \
     -v cpus="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)" 'BEGIN {
     printf "{\n"
     printf "  \"benchmark\": \"figures -all (figures 1-17 + tables A-C)\",\n"
@@ -63,6 +76,7 @@ awk -v t1="$T1" -v tn="$TN" -v jobs="$JOBS" -v points="$POINTS" \
     printf "  \"grid_points\": %d,\n", points
     printf "  \"seq\": {\"jobs\": 1, \"seconds\": %.2f, \"points_per_sec\": %.1f},\n", t1, points / t1
     printf "  \"par\": {\"jobs\": %d, \"seconds\": %.2f, \"points_per_sec\": %.1f},\n", jobs, tn, points / tn
+    printf "  \"traced\": {\"jobs\": %d, \"seconds\": %.2f, \"overhead_vs_par\": %.3f},\n", jobs, ttrace, ttrace / tn - 1
     printf "  \"speedup\": %.2f,\n", t1 / tn
     printf "  \"simlint\": {\"target\": \"./...\", \"seconds\": %.2f}\n", tlint
     printf "}\n"

@@ -12,6 +12,7 @@
 #                           failure: apply them (make lint-fix) or
 #                           justify with a directive
 #   6. go test -race ./...— the full suite under the race detector
+#   7. memtrace smoke     — one traced point end to end
 #
 # Run it from the repository root: ./scripts/check.sh
 set -eu
@@ -40,5 +41,8 @@ go run ./cmd/simlint -fix -dry-run ./...
 
 echo "== go test -race =="
 go test -race ./...
+
+echo "== memtrace smoke =="
+go run ./cmd/memtrace -machine 8400 -ws 16K -stride 4 -out /dev/null
 
 echo "check: all green"
