@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the pre-commit gate.
 
-.PHONY: build test check lint lint-fix fmt figures bench
+.PHONY: build test check lint lint-fix lint-baseline fmt figures bench
 
 build:
 	go build ./...
@@ -14,9 +14,16 @@ test:
 check:
 	./scripts/check.sh
 
-# lint runs only the domain-specific analyzers.
+# lint runs only the domain-specific analyzers (through the
+# incremental cache, against the checked-in baseline).
 lint:
-	go run ./cmd/simlint ./...
+	go run ./cmd/simlint -baseline lint.baseline.json ./...
+
+# lint-baseline re-records the currently accepted findings in
+# lint.baseline.json; `make lint` and `make check` then fail only on
+# findings newer than that snapshot.
+lint-baseline:
+	go run ./cmd/simlint -baseline lint.baseline.json -update-baseline ./...
 
 # lint-fix applies simlint's suggested fixes in place (insert `_ =`,
 # rewrite worker appends as writes-by-index, zero forgotten fields in

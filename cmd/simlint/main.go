@@ -6,6 +6,10 @@
 //	simlint -determinism=false .  # disable one analyzer
 //	simlint -fix ./...            # apply suggested fixes in place
 //	simlint -fix -dry-run ./...   # fail if fixes would apply
+//	simlint -sarif out.sarif ./...          # SARIF 2.1.0 log
+//	simlint -baseline lint.baseline.json ./...  # fail on NEW findings only
+//	simlint -update-baseline -baseline lint.baseline.json ./...
+//	simlint -ignores ./...        # audit every //simlint:ignore
 //
 // Each analyzer has an enable flag named after it (default true);
 // retired analyzer names (cycledrop) remain as deprecated aliases for
@@ -15,6 +19,13 @@
 // load or usage errors. Suppress a finding with a `//simlint:ignore
 // <analyzer> <reason>` comment on the offending line or the line
 // above.
+//
+// Runs are incremental: per-package results are cached on disk
+// (-cache-dir, default .simlintcache) keyed by the content of the
+// package, its dependencies, the analyzer set, and the toolchain, so
+// a warm run over an unchanged tree re-analyzes nothing. -cache=false
+// disables the cache; -fix always runs uncached (fixes need live
+// source positions). -j bounds parallel package analysis.
 package main
 
 import (
@@ -35,6 +46,14 @@ func run() int {
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
 	fix := flag.Bool("fix", false, "apply suggested fixes to the source files")
 	dryRun := flag.Bool("dry-run", false, "with -fix: report fixes without writing, exit 1 if any would apply")
+	jobs := flag.Int("j", 0, "max concurrent package analyses (0 = GOMAXPROCS)")
+	useCache := flag.Bool("cache", true, "reuse cached per-package results when inputs are unchanged")
+	cacheDir := flag.String("cache-dir", ".simlintcache", "directory for the incremental cache")
+	sarifOut := flag.String("sarif", "", "also write findings to this file as SARIF 2.1.0")
+	baselinePath := flag.String("baseline", "", "suppress findings recorded in this baseline file")
+	updateBaseline := flag.Bool("update-baseline", false, "rewrite -baseline with the current findings and exit 0")
+	ignores := flag.Bool("ignores", false, "list every //simlint:ignore directive instead of analyzing")
+	verbose := flag.Bool("v", false, "report cache statistics on stderr")
 	enabled := map[string]*bool{}
 	for _, a := range lint.All {
 		enabled[a.Name] = flag.Bool(a.Name, true, "enable the "+a.Name+" analyzer: "+a.Doc)
@@ -48,6 +67,11 @@ func run() int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
+
+	if *ignores {
+		return reportIgnores(patterns)
+	}
+
 	// A deprecated alias flag set to false disables its successor.
 	off := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) {
@@ -68,37 +92,54 @@ func run() int {
 		return 2
 	}
 
-	loader := lint.NewLoader()
-	pkgs, err := loader.Load(patterns)
+	driver := &lint.Driver{Analyzers: analyzers, Jobs: *jobs, CacheDir: *cacheDir}
+	if !*useCache || (*fix && !*dryRun) {
+		// Applying fixes needs live token positions, which cached
+		// diagnostics (rendered to file:line:col) no longer carry.
+		driver.CacheDir = ""
+	}
+	res, err := driver.Run(patterns)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simlint:", err)
 		return 2
 	}
-	diags := lint.Run(pkgs, analyzers)
+	diags := res.Diags
+	if *verbose {
+		module := "miss"
+		if res.Stats.ModuleHit {
+			module = "hit"
+		}
+		fmt.Fprintf(os.Stderr, "simlint: cache: %d/%d package hits, module %s, %d loaded\n",
+			res.Stats.PkgHits, res.Stats.Packages, module, res.Stats.Loaded)
+	}
 
-	if *fix || *dryRun {
-		res, err := lint.RenderFixes(loader.Fset, diags)
+	if *fix && !*dryRun {
+		fixed, err := lint.RenderFixes(res.Fset, diags)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "simlint:", err)
 			return 2
 		}
-		if *dryRun {
-			if res.Applied > 0 {
-				for _, d := range diags {
-					if d.Fix != nil {
-						fmt.Fprintf(os.Stderr, "simlint: would fix %s (%s)\n", rel(d.File), d.Fix.Description)
-					}
-				}
-				fmt.Fprintf(os.Stderr, "simlint: %d fix(es) would apply; run simlint -fix\n", res.Applied)
-				return 1
-			}
-			return 0
-		}
-		if err := res.WriteFixes(); err != nil {
+		if err := fixed.WriteFixes(); err != nil {
 			fmt.Fprintln(os.Stderr, "simlint:", err)
 			return 2
 		}
-		fmt.Fprintf(os.Stderr, "simlint: applied %d fix(es) in %d file(s)\n", res.Applied, len(res.Files))
+		fmt.Fprintf(os.Stderr, "simlint: applied %d fix(es) in %d file(s)\n", fixed.Applied, len(fixed.Files))
+		return 0
+	}
+	if *dryRun {
+		// Fix presence survives the cache, so a dry run can be served
+		// warm: count what -fix would change.
+		would := 0
+		for _, d := range diags {
+			if d.Fix != nil {
+				would++
+				fmt.Fprintf(os.Stderr, "simlint: would fix %s (%s)\n", rel(d.File), d.Fix.Description)
+			}
+		}
+		if would > 0 {
+			fmt.Fprintf(os.Stderr, "simlint: %d fix(es) would apply; run simlint -fix\n", would)
+			return 1
+		}
 		return 0
 	}
 
@@ -110,6 +151,42 @@ func run() int {
 			for j := range diags[i].Fix.Edits {
 				diags[i].Fix.Edits[j].File = rel(diags[i].Fix.Edits[j].File)
 			}
+		}
+	}
+
+	if *updateBaseline {
+		if *baselinePath == "" {
+			fmt.Fprintln(os.Stderr, "simlint: -update-baseline needs -baseline")
+			return 2
+		}
+		if err := lint.NewBaseline(diags).Write(*baselinePath); err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "simlint: baseline %s updated with %d finding(s)\n", *baselinePath, len(diags))
+		return 0
+	}
+	suppressed := 0
+	if *baselinePath != "" {
+		base, err := lint.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			return 2
+		}
+		fresh := base.Filter(diags)
+		suppressed = len(diags) - len(fresh)
+		diags = fresh
+	}
+
+	if *sarifOut != "" {
+		data, err := lint.SARIF(diags, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			return 2
+		}
+		if err := os.WriteFile(*sarifOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			return 2
 		}
 	}
 
@@ -130,8 +207,44 @@ func run() int {
 	}
 	if len(diags) > 0 {
 		if !*jsonOut {
-			fmt.Fprintf(os.Stderr, "simlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+			fmt.Fprintf(os.Stderr, "simlint: %d finding(s) in %d package(s)", len(diags), res.Stats.Packages)
+			if suppressed > 0 {
+				fmt.Fprintf(os.Stderr, " (%d baselined)", suppressed)
+			}
+			fmt.Fprintln(os.Stderr)
 		}
+		return 1
+	}
+	if suppressed > 0 && !*jsonOut {
+		fmt.Fprintf(os.Stderr, "simlint: clean (%d baselined finding(s) remain)\n", suppressed)
+	}
+	return 0
+}
+
+// reportIgnores lists every //simlint:ignore directive with its
+// reason; a malformed directive (including a missing reason) makes
+// the report exit 1, so the audit doubles as enforcement.
+func reportIgnores(patterns []string) int {
+	dirs, err := lint.Directives(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		return 2
+	}
+	bad := 0
+	for _, d := range dirs {
+		if d.Problem != "" {
+			fmt.Printf("%s:%d: MALFORMED: %s\n", rel(d.File), d.Line, d.Problem)
+			bad++
+			continue
+		}
+		fmt.Printf("%s:%d: [%s] %s\n", rel(d.File), d.Line, d.Analyzer, d.Reason)
+	}
+	fmt.Fprintf(os.Stderr, "simlint: %d ignore directive(s)", len(dirs))
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, ", %d malformed", bad)
+	}
+	fmt.Fprintln(os.Stderr)
+	if bad > 0 {
 		return 1
 	}
 	return 0

@@ -1,0 +1,388 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Attrcover closes the loop between cycleflow (no computed cost is
+// dropped) and the probe subsystem (every spent cycle is attributed):
+// it proves that every units.Time cost that reaches a component's
+// elapsed-time accounting also flows into a probe counter on some
+// path, so the attribution tables (report.AttributionFigure) account
+// for ~100% of simulated time instead of silently drifting as new
+// cost terms are added.
+//
+// The analysis is interprocedural over the v2 index:
+//
+//  1. Sink seeding. A parameter is a *cost sink* when the function
+//     body accumulates it into a units.Time struct field with `+=`
+//     (sim.Clock.Advance: c.now += d). Passing one's own bare Time
+//     parameter into a callee's sink parameter makes it a sink too
+//     (node.Node.Advance forwards to the clock), to a fixpoint.
+//  2. Attributor marking. A function *attributes* when its body calls
+//     probe.TimeCounter.Add, or statically calls a module function
+//     that attributes (node.chargeFill adds to fill_time; everything
+//     that reaches it inherits the mark).
+//  3. Site checking. At every accumulation site — an argument passed
+//     to a sink parameter, or a `+=` into a Time field — the cost
+//     expression is decomposed over + - * / and conversions, and each
+//     leaf must be covered: a constant, the function's own sink
+//     parameter (the caller is checked instead), a variable that also
+//     appears in a probe TimeCounter.Add argument or in a call to an
+//     attributing function, a variable assigned from an attributing
+//     call, or a direct call to an attributing function. Uncovered
+//     leaves are findings.
+//
+// Absolute-time sinks (Clock.AdvanceTo — barriers, flush completions)
+// are deliberately out of scope: they synchronize to a point in time
+// computed elsewhere rather than spending new cycles. Calls that do
+// not resolve statically (interfaces, function values) are
+// boundaries, never evidence. Genuinely unattributable glue carries
+// `//simlint:ignore attrcover <reason>`.
+var Attrcover = &Analyzer{
+	Name: "attrcover",
+	Doc: "prove every units.Time cost reaching elapsed-time accounting " +
+		"also flows into a probe counter",
+	Severity:  SeverityError,
+	RunModule: runAttrcover,
+}
+
+// probeTimeAddSuffix identifies probe.TimeCounter.Add across
+// type-check universes (fixtures import the real probe package).
+const probeTimeAddSuffix = "internal/probe.TimeCounter.Add"
+
+func isProbePkg(p *types.Package) bool {
+	return p != nil && (p.Path() == "internal/probe" ||
+		strings.HasSuffix(p.Path(), "/internal/probe"))
+}
+
+func runAttrcover(mp *ModulePass) {
+	ix := mp.Index
+	sinks := sinkParams(ix)
+	attrib := attributors(ix)
+	for _, fi := range ix.Funcs() {
+		if !isSimPath(fi.Pkg.Path) || isProbePkg(fi.Pkg.Pkg) {
+			continue
+		}
+		checkAttrSites(mp, fi, sinks, attrib)
+	}
+}
+
+// paramVars maps each declared parameter object of fi to its index in
+// the signature.
+func paramVars(fi *FuncInfo) map[*types.Var]int {
+	out := map[*types.Var]int{}
+	if fi.Decl.Type.Params == nil {
+		return out
+	}
+	i := 0
+	for _, field := range fi.Decl.Type.Params.List {
+		if len(field.Names) == 0 {
+			i++
+			continue
+		}
+		for _, name := range field.Names {
+			if v, ok := fi.Pkg.Info.Defs[name].(*types.Var); ok {
+				out[v] = i
+			}
+			i++
+		}
+	}
+	return out
+}
+
+// sinkParams computes, per function key, the sorted indices of the
+// parameters whose value is accumulated into elapsed time: seeded by
+// `field += param` on a units.Time field, closed under forwarding a
+// bare parameter into a callee's sink parameter.
+func sinkParams(ix *Index) map[string]map[int]bool {
+	sinks := map[string]map[int]bool{}
+	mark := func(key string, idx int) bool {
+		if sinks[key] == nil {
+			sinks[key] = map[int]bool{}
+		}
+		if sinks[key][idx] {
+			return false
+		}
+		sinks[key][idx] = true
+		return true
+	}
+	funcs := ix.Funcs()
+	// Seed: direct `+=` of a bare parameter into a Time field.
+	for _, fi := range funcs {
+		params := paramVars(fi)
+		pkg := fi.Pkg
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || as.Tok != token.ADD_ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				return true
+			}
+			if !timeFieldLHS(pkg, as.Lhs[0]) {
+				return true
+			}
+			id, ok := ast.Unparen(as.Rhs[0]).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if v, ok := pkg.Info.Uses[id].(*types.Var); ok {
+				if idx, isParam := params[v]; isParam {
+					mark(fi.Key, idx)
+				}
+			}
+			return true
+		})
+	}
+	// Fixpoint: forwarding a bare parameter into a sink parameter.
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range funcs {
+			params := paramVars(fi)
+			pkg := fi.Pkg
+			ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := funcKey(calleeOf(pkg, call))
+				for idx := range sinks[callee] {
+					if idx >= len(call.Args) {
+						continue
+					}
+					id, ok := ast.Unparen(call.Args[idx]).(*ast.Ident)
+					if !ok {
+						continue
+					}
+					if v, ok := pkg.Info.Uses[id].(*types.Var); ok {
+						if pidx, isParam := params[v]; isParam {
+							if mark(fi.Key, pidx) {
+								changed = true
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return sinks
+}
+
+// timeFieldLHS reports whether e is a struct-field reference of type
+// units.Time — an elapsed/stall accumulator, not a local.
+func timeFieldLHS(pkg *Package, e ast.Expr) bool {
+	sel := selectorRoot(e)
+	if sel == nil {
+		return false
+	}
+	if _, _, ok := fieldRef(pkg, sel); !ok {
+		return false
+	}
+	return unitTypeName(pkg.Info.TypeOf(e), "Time")
+}
+
+// attributors computes the set of function keys whose call closure
+// reaches a probe.TimeCounter.Add call.
+func attributors(ix *Index) map[string]bool {
+	direct := map[string]bool{}
+	for _, fi := range ix.Funcs() {
+		pkg := fi.Pkg
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if strings.HasSuffix(funcKey(calleeOf(pkg, call)), probeTimeAddSuffix) {
+				direct[fi.Key] = true
+				return false
+			}
+			return true
+		})
+	}
+	// Propagate backwards over static call edges to a fixpoint.
+	attrib := map[string]bool{}
+	for key := range direct {
+		attrib[key] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range ix.Funcs() {
+			if attrib[fi.Key] {
+				continue
+			}
+			for _, callee := range ix.Callees(fi) {
+				if attrib[callee] {
+					attrib[fi.Key] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return attrib
+}
+
+// attributedVars collects the variables of fi's body that provably
+// reach a probe counter: mentioned in a probe.TimeCounter.Add
+// argument, passed to an attributing function, or assigned from an
+// expression that calls one.
+func attributedVars(fi *FuncInfo, attrib map[string]bool) map[*types.Var]bool {
+	pkg := fi.Pkg
+	out := map[*types.Var]bool{}
+	markIdents := func(e ast.Expr) {
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if v, ok := pkg.Info.Uses[id].(*types.Var); ok {
+					out[v] = true
+				}
+			}
+			return true
+		})
+	}
+	attributingCall := func(call *ast.CallExpr) bool {
+		key := funcKey(calleeOf(pkg, call))
+		return strings.HasSuffix(key, probeTimeAddSuffix) || attrib[key]
+	}
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if attributingCall(n) {
+				for _, arg := range n.Args {
+					markIdents(arg)
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				calls := false
+				ast.Inspect(rhs, func(m ast.Node) bool {
+					if call, ok := m.(*ast.CallExpr); ok && attributingCall(call) {
+						calls = true
+						return false
+					}
+					return true
+				})
+				if !calls {
+					continue
+				}
+				if id, ok := n.Lhs[i].(*ast.Ident); ok {
+					if v, ok := pkg.Info.Defs[id].(*types.Var); ok {
+						out[v] = true
+					} else if v, ok := pkg.Info.Uses[id].(*types.Var); ok {
+						out[v] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkAttrSites walks fi's body for accumulation sites and reports
+// cost operands that never reach a probe counter.
+func checkAttrSites(mp *ModulePass, fi *FuncInfo, sinks map[string]map[int]bool, attrib map[string]bool) {
+	pkg := fi.Pkg
+	own := sinks[fi.Key]
+	attributed := attributedVars(fi, attrib)
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			callee := funcKey(calleeOf(pkg, n))
+			for idx := range sinks[callee] {
+				if idx < len(n.Args) {
+					checkCostExpr(mp, fi, n.Args[idx], own, attributed, attrib, callee)
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && len(n.Rhs) == 1 &&
+				timeFieldLHS(pkg, n.Lhs[0]) {
+				checkCostExpr(mp, fi, n.Rhs[0], own, attributed, attrib, fi.Key)
+			}
+		}
+		return true
+	})
+}
+
+// checkCostExpr decomposes a cost expression over + - * /, parens,
+// and conversions, and reports every leaf that is not covered by an
+// attribution rule.
+func checkCostExpr(mp *ModulePass, fi *FuncInfo, e ast.Expr, own map[int]bool,
+	attributed map[*types.Var]bool, attrib map[string]bool, sink string) {
+	pkg := fi.Pkg
+	e = ast.Unparen(e)
+	// Constants are scale factors and fixed offsets, not dropped
+	// costs: they cannot drift away from the accounting.
+	if tv, ok := pkg.Info.Types[e]; ok && tv.Value != nil {
+		return
+	}
+	switch x := e.(type) {
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.ADD, token.SUB, token.MUL, token.QUO:
+			checkCostExpr(mp, fi, x.X, own, attributed, attrib, sink)
+			checkCostExpr(mp, fi, x.Y, own, attributed, attrib, sink)
+			return
+		}
+	case *ast.Ident:
+		v, ok := pkg.Info.Uses[x].(*types.Var)
+		if !ok {
+			return // package name, constant, type — not a cost carrier
+		}
+		if idx, isParam := paramVars(fi)[v]; isParam && own[idx] {
+			return // our own sink parameter: the caller is checked instead
+		}
+		if attributed[v] {
+			return
+		}
+		mp.Reportf(x.Pos(),
+			"%s flows into elapsed time (%s) without probe attribution; "+
+				"add it to a probe counter or annotate //simlint:ignore attrcover",
+			x.Name, shortFuncKey(sink))
+		return
+	case *ast.CallExpr:
+		if _, ok := isConversion(pkg.Info, x); ok {
+			checkCostExpr(mp, fi, x.Args[0], own, attributed, attrib, sink)
+			return
+		}
+		callee := funcKey(calleeOf(pkg, x))
+		if callee == "" {
+			return // dynamic call: a boundary, never evidence
+		}
+		if attrib[callee] {
+			return
+		}
+		if mp.Index.Func(callee) == nil {
+			return // outside the load: a boundary
+		}
+		mp.Reportf(x.Pos(),
+			"cost from %s flows into elapsed time (%s) without probe attribution; "+
+				"add it to a probe counter or annotate //simlint:ignore attrcover",
+			shortFuncKey(callee), shortFuncKey(sink))
+		return
+	case *ast.SelectorExpr:
+		if _, _, ok := fieldRef(pkg, x); ok {
+			mp.Reportf(x.Pos(),
+				"field %s flows into elapsed time (%s) without probe attribution; "+
+					"add it to a probe counter or annotate //simlint:ignore attrcover",
+				x.Sel.Name, shortFuncKey(sink))
+		}
+		return
+	}
+	// Anything else (index expressions, composite results) is a
+	// boundary the decomposition cannot see through.
+}
+
+// shortFuncKey trims the module prefix off a function key for
+// readable messages: "repro/internal/sim.Clock.Advance" ->
+// "sim.Clock.Advance".
+func shortFuncKey(key string) string {
+	if i := strings.LastIndex(key, "/"); i >= 0 {
+		return key[i+1:]
+	}
+	return key
+}

@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// A baseline is the checked-in set of accepted findings: CI runs
+// simlint against it and fails only on findings the baseline does not
+// cover, so a suite upgrade that surfaces pre-existing debt can land
+// without first paying all of it down. Matching is a multiset over
+// (analyzer, file, message) — line numbers are deliberately excluded
+// so unrelated edits above a known finding do not un-baseline it.
+
+// Baseline is the accepted-findings file (lint.baseline.json).
+type Baseline struct {
+	Findings []BaselineFinding `json:"findings"`
+}
+
+// BaselineFinding identifies one accepted finding.
+type BaselineFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+}
+
+// NewBaseline captures the given diagnostics as a baseline, in their
+// (already sorted) order. File paths are slash-normalized so the file
+// is portable across checkouts.
+func NewBaseline(diags []Diagnostic) *Baseline {
+	b := &Baseline{Findings: []BaselineFinding{}}
+	for _, d := range diags {
+		b.Findings = append(b.Findings, BaselineFinding{
+			Analyzer: d.Analyzer,
+			File:     filepath.ToSlash(d.File),
+			Message:  d.Message,
+		})
+	}
+	return b
+}
+
+// LoadBaseline reads a baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// Write stores the baseline as indented JSON.
+func (b *Baseline) Write(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Filter returns the diagnostics the baseline does not cover, in
+// order, consuming one baseline entry per matched finding (a multiset:
+// two identical findings need two baseline entries).
+func (b *Baseline) Filter(diags []Diagnostic) []Diagnostic {
+	budget := map[BaselineFinding]int{}
+	for _, f := range b.Findings {
+		budget[f]++
+	}
+	var fresh []Diagnostic
+	for _, d := range diags {
+		key := BaselineFinding{
+			Analyzer: d.Analyzer,
+			File:     filepath.ToSlash(d.File),
+			Message:  d.Message,
+		}
+		if budget[key] > 0 {
+			budget[key]--
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	return fresh
+}

@@ -1,0 +1,296 @@
+package lint
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// The incremental cache: analysis results are pure functions of the
+// analyzed sources, the sources of everything they import, the
+// analyzer set, and the toolchain — so simlint persists per-package
+// (and one whole-module) diagnostic lists keyed by a hash of exactly
+// those inputs. A warm run over an unchanged tree loads and
+// type-checks nothing; editing one file invalidates that package, its
+// dependents, and the module entry, nothing else. Directive comments
+// are part of file content, so adding or removing a //simlint:ignore
+// invalidates like any other edit.
+
+// cacheVersion is baked into every key and entry; bumping it orphans
+// all previous entries (they read as misses and are overwritten).
+const cacheVersion = 1
+
+// PackageMeta is one analysis target plus the module-internal
+// packages it (transitively) imports — the dependency slice of the
+// cache key.
+type PackageMeta struct {
+	Ref  PackageRef
+	Deps []string // import paths, sorted; each present in the hash map
+}
+
+// Keys derives the per-package cache keys and the module-wide key
+// from the dependency graph and a content hash per import path. It is
+// a pure function so tests can replay invalidation against the real
+// graph with injected hashes: changing one package's hash must change
+// exactly its own key, its dependents' keys, and the module key.
+func Keys(metas []PackageMeta, dirHash map[string]string, analyzers []*Analyzer) (map[string]string, string) {
+	names := analyzerNames(analyzers)
+	pkgKeys := make(map[string]string, len(metas))
+	for _, m := range metas {
+		h := sha256.New()
+		fmt.Fprintf(h, "v%d\x00%s\x00%s\x00pkg\x00%s\x00%s\x00%s\x00",
+			cacheVersion, runtime.Version(), names, m.Ref.Path, m.Ref.Dir, dirHash[m.Ref.Path])
+		for _, dep := range m.Deps {
+			fmt.Fprintf(h, "%s=%s\x00", dep, dirHash[dep])
+		}
+		pkgKeys[m.Ref.Path] = hex.EncodeToString(h.Sum(nil))
+	}
+	// The module key folds every package key (each of which already
+	// covers its own deps), so any change anywhere invalidates the
+	// module-analyzer entry.
+	paths := make([]string, 0, len(metas))
+	for _, m := range metas {
+		paths = append(paths, m.Ref.Path)
+	}
+	sort.Strings(paths)
+	h := sha256.New()
+	fmt.Fprintf(h, "v%d\x00%s\x00%s\x00module\x00", cacheVersion, runtime.Version(), names)
+	for _, p := range paths {
+		fmt.Fprintf(h, "%s=%s\x00", p, pkgKeys[p])
+	}
+	return pkgKeys, hex.EncodeToString(h.Sum(nil))
+}
+
+func analyzerNames(analyzers []*Analyzer) string {
+	names := make([]string, len(analyzers))
+	for i, a := range analyzers {
+		names[i] = a.Name
+	}
+	sort.Strings(names)
+	return strings.Join(names, ",")
+}
+
+// hashDir hashes the package sources analysis actually sees: the
+// non-test, non-hidden .go files of dir, by name and content, in
+// sorted order (the same filter LoadDir applies).
+func hashDir(dir string) (string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	var names []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	h := sha256.New()
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, "%s\x00%d\x00", name, len(data))
+		h.Write(data)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// resolveMetas expands go-style patterns to analysis targets with
+// their module-internal dependency lists, plus the directory of every
+// import path involved (targets and deps) for hashing. Patterns that
+// are existing directories (testdata fixtures) become self-contained
+// targets: own files only, no dependency tracking.
+func resolveMetas(patterns []string) ([]PackageMeta, []PackageRef, error) {
+	var metas []PackageMeta
+	dirs := newRefSet()
+	var listArgs []string
+	for _, p := range patterns {
+		if st, err := os.Stat(p); err == nil && st.IsDir() && !strings.Contains(p, "...") {
+			abs, err := filepath.Abs(p)
+			if err != nil {
+				return nil, nil, err
+			}
+			metas = append(metas, PackageMeta{Ref: PackageRef{Path: p, Dir: abs}})
+			dirs.add(p, abs)
+			continue
+		}
+		listArgs = append(listArgs, p)
+	}
+	if len(listArgs) == 0 {
+		return metas, dirs.refs, nil
+	}
+
+	targets, err := Expand(listArgs)
+	if err != nil {
+		return nil, nil, err
+	}
+	// One -deps walk yields every transitive import with its
+	// directory; .Deps is already transitive, so no closure here.
+	type depInfo struct {
+		dir      string
+		standard bool
+		deps     []string
+	}
+	info := map[string]depInfo{}
+	args := []string{"list", "-deps", "-f",
+		"{{.ImportPath}}\t{{.Dir}}\t{{.Standard}}\t{{range .Deps}}{{.}} {{end}}"}
+	cmd := exec.Command("go", append(args, listArgs...)...)
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	if err := cmd.Run(); err != nil {
+		return nil, nil, fmt.Errorf("go list -deps: %v\n%s", err, errb.String())
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		parts := strings.SplitN(line, "\t", 4)
+		if len(parts) != 4 {
+			return nil, nil, fmt.Errorf("go list -deps: unexpected output %q", line)
+		}
+		info[parts[0]] = depInfo{
+			dir:      parts[1],
+			standard: parts[2] == "true",
+			deps:     strings.Fields(parts[3]),
+		}
+	}
+	for _, ref := range targets {
+		var deps []string
+		for _, dep := range info[ref.Path].deps {
+			di, ok := info[dep]
+			// Standard-library deps ride on runtime.Version() in the
+			// key; only module (and vendored) sources are hashed.
+			if !ok || di.standard {
+				continue
+			}
+			deps = append(deps, dep)
+			dirs.add(dep, di.dir)
+		}
+		sort.Strings(deps)
+		metas = append(metas, PackageMeta{Ref: ref, Deps: deps})
+		dirs.add(ref.Path, ref.Dir)
+	}
+	return metas, dirs.refs, nil
+}
+
+// refSet accumulates unique (import path, dir) pairs in insertion
+// order, so downstream iteration never walks a map.
+type refSet struct {
+	refs []PackageRef
+	seen map[string]bool
+}
+
+func newRefSet() *refSet {
+	return &refSet{seen: map[string]bool{}}
+}
+
+func (s *refSet) add(path, dir string) {
+	if s.seen[path] {
+		return
+	}
+	s.seen[path] = true
+	s.refs = append(s.refs, PackageRef{Path: path, Dir: dir})
+}
+
+// hashAll computes the content hash of every listed package.
+func hashAll(refs []PackageRef) (map[string]string, error) {
+	hashes := make(map[string]string, len(refs))
+	for _, ref := range refs {
+		h, err := hashDir(ref.Dir)
+		if err != nil {
+			return nil, fmt.Errorf("hashing %s: %w", ref.Path, err)
+		}
+		hashes[ref.Path] = h
+	}
+	return hashes, nil
+}
+
+// cacheEntry is the on-disk format: one JSON file per (kind, path)
+// under the cache directory, named by a hash of that identity so
+// entries overwrite their predecessors in place.
+type cacheEntry struct {
+	CacheVersion int          `json:"cache_version"`
+	Key          string       `json:"key"`
+	Kind         string       `json:"kind"` // "pkg" or "module"
+	Path         string       `json:"path"`
+	Diagnostics  []Diagnostic `json:"diagnostics"`
+}
+
+// fileCache reads and writes cache entries; every operation is
+// best-effort (a broken cache is a cache miss, never an error).
+type fileCache struct {
+	dir string
+}
+
+func openCache(dir string) *fileCache {
+	if dir == "" {
+		return nil
+	}
+	return &fileCache{dir: dir}
+}
+
+func (c *fileCache) entryFile(kind, path string) string {
+	sum := sha256.Sum256([]byte(kind + "\x00" + path))
+	return filepath.Join(c.dir, hex.EncodeToString(sum[:])+".json")
+}
+
+// get returns the cached diagnostics for (kind, path) when the stored
+// key matches; anything else — missing file, stale cache version,
+// different key, corrupt JSON — is a miss.
+func (c *fileCache) get(kind, path, key string) ([]Diagnostic, bool) {
+	data, err := os.ReadFile(c.entryFile(kind, path))
+	if err != nil {
+		return nil, false
+	}
+	var e cacheEntry
+	if json.Unmarshal(data, &e) != nil ||
+		e.CacheVersion != cacheVersion || e.Kind != kind || e.Path != path || e.Key != key {
+		return nil, false
+	}
+	return e.Diagnostics, true
+}
+
+// put stores diagnostics for (kind, path, key), atomically replacing
+// any previous entry. Failures are ignored: the next run simply
+// recomputes.
+func (c *fileCache) put(kind, path, key string, diags []Diagnostic) {
+	if diags == nil {
+		diags = []Diagnostic{}
+	}
+	data, err := json.Marshal(cacheEntry{
+		CacheVersion: cacheVersion, Key: key, Kind: kind, Path: path, Diagnostics: diags,
+	})
+	if err != nil {
+		return
+	}
+	if os.MkdirAll(c.dir, 0o755) != nil {
+		return
+	}
+	dst := c.entryFile(kind, path)
+	tmp, err := os.CreateTemp(c.dir, filepath.Base(dst)+".tmp")
+	if err != nil {
+		return
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	tmp.Close()
+	if os.Rename(tmp.Name(), dst) != nil {
+		os.Remove(tmp.Name())
+	}
+}

@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"go/token"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Driver runs the analyzer suite over package patterns with two
+// accelerations Run does not have: per-package results come from the
+// on-disk cache when their key still matches, and cache-miss packages
+// are analyzed in parallel. Output is byte-identical to Run over the
+// same load — per-package results land in pattern order regardless of
+// Jobs, and the final sort is the same.
+type Driver struct {
+	Analyzers []*Analyzer
+	// Jobs bounds concurrent package analysis; <= 0 means GOMAXPROCS.
+	Jobs int
+	// CacheDir holds the incremental cache; "" disables caching (every
+	// package loads and analyzes fresh, as -fix requires for live
+	// positions).
+	CacheDir string
+}
+
+// Stats reports what one Driver run did.
+type Stats struct {
+	Packages  int  // analysis targets
+	PkgHits   int  // per-package cache hits
+	ModuleHit bool // module-analyzer entry served from cache
+	Loaded    int  // packages parsed and type-checked this run
+}
+
+// Result is one Driver run's findings plus the FileSet behind any
+// live token positions (empty cache-dir runs only; cached diagnostics
+// carry rendered positions, not token.Pos).
+type Result struct {
+	Diags []Diagnostic
+	Stats Stats
+	Fset  *token.FileSet
+}
+
+// Run analyzes the packages matching patterns.
+func (d *Driver) Run(patterns []string) (*Result, error) {
+	metas, dirs, err := resolveMetas(patterns)
+	if err != nil {
+		return nil, err
+	}
+	hashes, err := hashAll(dirs)
+	if err != nil {
+		return nil, err
+	}
+	pkgKeys, moduleKey := Keys(metas, hashes, d.Analyzers)
+	cache := openCache(d.CacheDir)
+
+	hasModule := false
+	for _, a := range d.Analyzers {
+		if a.RunModule != nil {
+			hasModule = true
+		}
+	}
+	paths := make([]string, 0, len(metas))
+	for _, m := range metas {
+		paths = append(paths, m.Ref.Path)
+	}
+	sort.Strings(paths)
+	modulePath := strings.Join(paths, ",")
+
+	res := &Result{Stats: Stats{Packages: len(metas)}}
+	var moduleDiags []Diagnostic
+	moduleNeeded := hasModule && len(metas) > 0
+	if moduleNeeded && cache != nil {
+		if diags, ok := cache.get("module", modulePath, moduleKey); ok {
+			moduleDiags = diags
+			res.Stats.ModuleHit = true
+			moduleNeeded = false
+		}
+	}
+
+	type slot struct {
+		diags []Diagnostic
+		hit   bool
+	}
+	slots := make([]slot, len(metas))
+	if cache != nil {
+		for i, m := range metas {
+			if diags, ok := cache.get("pkg", m.Ref.Path, pkgKeys[m.Ref.Path]); ok {
+				slots[i] = slot{diags: diags, hit: true}
+				res.Stats.PkgHits++
+			}
+		}
+	}
+
+	// Load every package the run still needs: cache misses, plus the
+	// whole set when the module analyzers must re-run (they see all
+	// targets together). Loading is sequential — the source importer
+	// is shared — but a warm run over an unchanged tree loads nothing.
+	loader := NewLoader()
+	res.Fset = loader.Fset
+	pkgs := make([]*Package, len(metas))
+	for i, m := range metas {
+		if slots[i].hit && !moduleNeeded {
+			continue
+		}
+		pkg, err := loader.LoadDir(m.Ref.Dir, m.Ref.Path)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			continue // test-only directory: nothing to analyze
+		}
+		pkgs[i] = pkg
+		res.Stats.Loaded++
+	}
+
+	// Package analysis fans out across Jobs workers; each result is
+	// written to its own indexed slot, so assembly order (and output
+	// bytes) cannot depend on scheduling.
+	jobs := d.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, jobs)
+	var wg sync.WaitGroup
+	for i := range metas {
+		if slots[i].hit {
+			continue
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer func() { <-sem; wg.Done() }()
+			var diags []Diagnostic
+			if pkgs[i] != nil {
+				diags = analyzePackage(pkgs[i], d.Analyzers)
+			}
+			slots[i].diags = diags
+			if cache != nil {
+				cache.put("pkg", metas[i].Ref.Path, pkgKeys[metas[i].Ref.Path], diags)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if moduleNeeded {
+		var loaded []*Package
+		for _, pkg := range pkgs {
+			if pkg != nil {
+				loaded = append(loaded, pkg)
+			}
+		}
+		moduleDiags = analyzeModule(loaded, d.Analyzers)
+		if cache != nil {
+			cache.put("module", modulePath, moduleKey, moduleDiags)
+		}
+	}
+
+	for _, s := range slots {
+		res.Diags = append(res.Diags, s.diags...)
+	}
+	res.Diags = append(res.Diags, moduleDiags...)
+	sortDiagnostics(res.Diags)
+	return res, nil
+}

@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The -ignores report: every suppression in the tree, with its
+// reason, in one listing — the audit trail for "what did we decide
+// not to fix, and why". Parse-only (no type checking), so it is fast
+// enough to run on every review.
+
+// Directive is one //simlint:ignore comment found in source.
+type Directive struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	Reason   string `json:"reason"`
+	// Problem is non-empty for a malformed directive (unknown
+	// analyzer, missing reason); Analyzer/Reason are then best-effort.
+	Problem string `json:"problem,omitempty"`
+}
+
+// Directives collects every //simlint:ignore directive in the
+// packages matching patterns, sorted by file then line. Only the
+// files analysis sees are scanned (non-test .go files).
+func Directives(patterns []string) ([]Directive, error) {
+	refs, err := Expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var out []Directive
+	for _, ref := range refs {
+		ents, err := os.ReadDir(ref.Dir)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range ents {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+				strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(ref.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, ignorePrefix) {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					d := Directive{File: pos.Filename, Line: pos.Line}
+					analyzer, reason, err := parseDirective(c.Text)
+					if err != nil {
+						d.Problem = err.Error()
+					} else {
+						d.Analyzer, d.Reason = analyzer, reason
+					}
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out, nil
+}

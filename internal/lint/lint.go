@@ -91,7 +91,7 @@ type Analyzer struct {
 }
 
 // All lists every analyzer in the suite, in reporting order.
-var All = []*Analyzer{Unitsafe, Cycleflow, Statereset, Sweepsafe, Determinism, Probeguard}
+var All = []*Analyzer{Unitsafe, Cycleflow, Statereset, Sweepsafe, Determinism, Probeguard, Attrcover, Snapshotsafe}
 
 // aliases maps retired analyzer names to their successors, so old
 // //simlint:ignore directives and CLI flags keep working.
@@ -196,49 +196,86 @@ func (p *ModulePass) Report(pos token.Pos, fix *SuggestedFix, format string, arg
 // analyzers run once over the whole load with the shared index.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
-	var raw []Diagnostic
-	ig := ignoreSet{}
 	for _, pkg := range pkgs {
-		pkgIg, bad := collectIgnores(pkg.Fset, pkg.Files)
-		diags = append(diags, bad...)
-		for file, lines := range pkgIg {
-			ig[file] = lines
-		}
-		for _, a := range analyzers {
-			if a.Run == nil {
-				continue
-			}
-			pass := &Pass{
-				Fset:     pkg.Fset,
-				Files:    pkg.Files,
-				Path:     pkg.Path,
-				Pkg:      pkg.Pkg,
-				Info:     pkg.Info,
-				analyzer: a,
-				sink:     &raw,
-			}
-			a.Run(pass)
-		}
+		diags = append(diags, analyzePackage(pkg, analyzers)...)
 	}
-	var ix *Index
+	diags = append(diags, analyzeModule(pkgs, analyzers)...)
+	sortDiagnostics(diags)
+	return diags
+}
+
+// analyzePackage runs the package-level analyzers over one package
+// and returns its surviving diagnostics: malformed-directive findings
+// plus analyzer findings not suppressed by the package's own
+// directives (package analyzers only report positions inside their
+// own package, so the local ignore set is the whole story). This is
+// the cacheable per-package unit of the incremental driver.
+func analyzePackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	ig, diags := collectIgnores(pkg.Fset, pkg.Files)
+	var raw []Diagnostic
 	for _, a := range analyzers {
-		if a.RunModule == nil {
+		if a.Run == nil {
 			continue
 		}
-		if ix == nil {
-			ix = buildIndex(pkgs)
+		pass := &Pass{
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Path:     pkg.Path,
+			Pkg:      pkg.Pkg,
+			Info:     pkg.Info,
+			analyzer: a,
+			sink:     &raw,
 		}
-		var fset *token.FileSet
-		if len(pkgs) > 0 {
-			fset = pkgs[0].Fset
-		}
-		a.RunModule(&ModulePass{Fset: fset, Pkgs: pkgs, Index: ix, analyzer: a, sink: &raw})
+		a.Run(pass)
 	}
 	for _, d := range raw {
 		if !ig.suppressed(d) {
 			diags = append(diags, d)
 		}
 	}
+	sortDiagnostics(diags)
+	return diags
+}
+
+// analyzeModule runs the module-level analyzers over the whole load
+// with a shared index, suppressing through the union of every
+// package's directives. Directive diagnostics are not re-emitted
+// here; analyzePackage owns them.
+func analyzeModule(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var module []*Analyzer
+	for _, a := range analyzers {
+		if a.RunModule != nil {
+			module = append(module, a)
+		}
+	}
+	if len(module) == 0 || len(pkgs) == 0 {
+		return nil
+	}
+	ig := ignoreSet{}
+	for _, pkg := range pkgs {
+		pkgIg, _ := collectIgnores(pkg.Fset, pkg.Files)
+		for file, lines := range pkgIg {
+			ig[file] = lines
+		}
+	}
+	ix := buildIndex(pkgs)
+	var raw []Diagnostic
+	for _, a := range module {
+		a.RunModule(&ModulePass{Fset: pkgs[0].Fset, Pkgs: pkgs, Index: ix, analyzer: a, sink: &raw})
+	}
+	var diags []Diagnostic
+	for _, d := range raw {
+		if !ig.suppressed(d) {
+			diags = append(diags, d)
+		}
+	}
+	sortDiagnostics(diags)
+	return diags
+}
+
+// sortDiagnostics orders findings by position then analyzer — the
+// stable output order every driver path shares.
+func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.File != b.File {
@@ -252,7 +289,6 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags
 }
 
 // ignoreSet maps file -> line -> analyzer names ("all" wildcards).
@@ -269,6 +305,30 @@ func (ig ignoreSet) suppressed(d Diagnostic) bool {
 
 const ignorePrefix = "//simlint:ignore"
 
+// parseDirective validates the text of one //simlint:ignore comment
+// and returns the canonical analyzer name (retired names resolve to
+// their successor) and the reason. The error text is the diagnostic
+// message for malformed directives.
+func parseDirective(text string) (name, reason string, err error) {
+	rest := strings.TrimPrefix(text, ignorePrefix)
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", "", fmt.Errorf("simlint:ignore directive needs an analyzer name and a reason")
+	}
+	name = fields[0]
+	if name != "all" && ByName(name) == nil {
+		return "", "", fmt.Errorf("simlint:ignore names unknown analyzer %q", name)
+	}
+	// Retired analyzer names suppress their successor.
+	if a := ByName(name); a != nil {
+		name = a.Name
+	}
+	if len(fields) < 2 {
+		return "", "", fmt.Errorf("simlint:ignore %s needs a reason", name)
+	}
+	return name, strings.Join(fields[1:], " "), nil
+}
+
 // collectIgnores scans comments for //simlint:ignore directives. A
 // directive suppresses matching diagnostics on its own line and on
 // the next line (so it can sit above the offending statement).
@@ -277,12 +337,6 @@ const ignorePrefix = "//simlint:ignore"
 func collectIgnores(fset *token.FileSet, files []*ast.File) (ignoreSet, []Diagnostic) {
 	ig := ignoreSet{}
 	var bad []Diagnostic
-	report := func(pos token.Position, msg string) {
-		bad = append(bad, Diagnostic{
-			Analyzer: "simlint", Severity: SeverityWarning, Pos: pos,
-			File: pos.Filename, Line: pos.Line, Col: pos.Column, Message: msg,
-		})
-	}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -290,23 +344,13 @@ func collectIgnores(fset *token.FileSet, files []*ast.File) (ignoreSet, []Diagno
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				rest := strings.TrimPrefix(c.Text, ignorePrefix)
-				fields := strings.Fields(rest)
-				if len(fields) == 0 {
-					report(pos, "simlint:ignore directive needs an analyzer name and a reason")
-					continue
-				}
-				name := fields[0]
-				if name != "all" && ByName(name) == nil {
-					report(pos, fmt.Sprintf("simlint:ignore names unknown analyzer %q", name))
-					continue
-				}
-				// Retired analyzer names suppress their successor.
-				if a := ByName(name); a != nil {
-					name = a.Name
-				}
-				if len(fields) < 2 {
-					report(pos, fmt.Sprintf("simlint:ignore %s needs a reason", name))
+				name, _, err := parseDirective(c.Text)
+				if err != nil {
+					bad = append(bad, Diagnostic{
+						Analyzer: "simlint", Severity: SeverityWarning, Pos: pos,
+						File: pos.Filename, Line: pos.Line, Col: pos.Column,
+						Message: err.Error(),
+					})
 					continue
 				}
 				file := pos.Filename

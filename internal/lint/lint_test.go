@@ -145,6 +145,16 @@ func TestProbeguardCatchesViolations(t *testing.T) {
 }
 func TestProbeguardCleanPass(t *testing.T) { testFixture(t, "probeguard_ok", Probeguard) }
 
+func TestAttrcoverCatchesViolations(t *testing.T) {
+	testFixture(t, "attrcover_bad", Attrcover)
+}
+func TestAttrcoverCleanPass(t *testing.T) { testFixture(t, "attrcover_ok", Attrcover) }
+
+func TestSnapshotsafeCatchesViolations(t *testing.T) {
+	testFixture(t, "snapshotsafe_bad", Snapshotsafe)
+}
+func TestSnapshotsafeCleanPass(t *testing.T) { testFixture(t, "snapshotsafe_ok", Snapshotsafe) }
+
 // TestStateresetSeededBugFailsRun pins the acceptance criterion
 // directly: reintroducing the PR 2 write-combine bug (a ColdReset
 // that forgets run state) must make a simlint run report findings,
@@ -272,6 +282,76 @@ func TestExpandResolvesImportPaths(t *testing.T) {
 	}
 	if _, err := os.Stat(refs[0].Dir); err != nil {
 		t.Fatalf("resolved dir does not exist: %v", err)
+	}
+}
+
+// TestSnapshotsafeOnSurfaceCodec runs the analyzer over the real
+// surface package: the Surface codec is the first production snapshot
+// it guards, and it must come out clean.
+func TestSnapshotsafeOnSurfaceCodec(t *testing.T) {
+	pkgs, err := NewLoader().Load([]string{"repro/internal/surface"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Run(pkgs, []*Analyzer{Snapshotsafe}); len(diags) != 0 {
+		t.Fatalf("surface codec is not snapshot-safe: %v", diags)
+	}
+}
+
+// TestSnapshotsafeCatchesSurfaceMutant pins the acceptance criterion:
+// deleting the Title write from Surface.MarshalBinary must make the
+// analyzer report. The real surface sources are copied into a scratch
+// package under testdata (inside the module, so repro/... imports
+// resolve), mutated, and analyzed.
+func TestSnapshotsafeCatchesSurfaceMutant(t *testing.T) {
+	refs, err := Expand([]string{"repro/internal/surface"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 1 {
+		t.Fatalf("Expand = %v", refs)
+	}
+	dir, err := os.MkdirTemp("testdata", "surface-mutant-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	ents, err := os.ReadDir(refs[0].Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(refs[0].Dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := string(src)
+		if e.Name() == "snapshot.go" {
+			// Drop both Title references from MarshalBinary: the
+			// capacity hint and the actual encode.
+			const capRef = "len(s.Machine)+len(s.Title)+"
+			const write = "\tbuf = appendSnapString(buf, s.Title)\n"
+			if !strings.Contains(text, capRef) || !strings.Contains(text, write) {
+				t.Fatal("surface/snapshot.go lost the expected Title writes; update this test")
+			}
+			text = strings.Replace(text, capRef, "len(s.Machine)+", 1)
+			text = strings.Replace(text, write, "", 1)
+		}
+		if err := os.WriteFile(filepath.Join(dir, e.Name()), []byte(text), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pkg, err := NewLoader().LoadDir(dir, "repro/internal/lint/"+filepath.ToSlash(dir))
+	if err != nil {
+		t.Fatalf("loading mutated surface: %v", err)
+	}
+	diags := Run([]*Package{pkg}, []*Analyzer{Snapshotsafe})
+	if len(diags) != 1 ||
+		!strings.Contains(diags[0].Message, "Surface.Title is never written by MarshalBinary") {
+		t.Fatalf("want exactly the dropped-Title finding, got %v", diags)
 	}
 }
 

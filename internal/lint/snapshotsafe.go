@@ -1,0 +1,318 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Snapshotsafe is the static contract behind the simulator's binary
+// snapshots (surface grids today, the memserve surface store next): a
+// hand-rolled codec that silently drops a field, decodes in a
+// different order than it encodes, or ships without a version tag
+// corrupts persisted characterization data in ways no unit test of
+// the current format catches. The analyzer targets every struct that
+// carries a `//simlint:snapshot` marker or declares MarshalBinary /
+// UnmarshalBinary methods, and demands:
+//
+//   - both methods exist (codecs come in pairs; a marker without a
+//     codec is a broken promise);
+//   - every field of the struct is referenced by MarshalBinary and by
+//     UnmarshalBinary — fields referenced by same-type helper methods
+//     the codec calls count; derived or transient fields carry
+//     `//simlint:ignore snapshotsafe <reason>` on their declaration;
+//   - the fields both methods reference directly appear in the same
+//     relative order (first reference), so the wire layout cannot
+//     skew between encode and decode;
+//   - each method mentions a version identifier (any identifier whose
+//     name contains "version"), the hook a format bump needs.
+//
+// The check is intra-package: snapshot types and their codecs live
+// together or not at all.
+var Snapshotsafe = &Analyzer{
+	Name: "snapshotsafe",
+	Doc: "binary snapshot codecs must restore every field, in encode " +
+		"order, behind a version tag",
+	Severity: SeverityError,
+	Run:      runSnapshotsafe,
+}
+
+const snapshotMarker = "//simlint:snapshot"
+
+// snapshotType gathers one struct's declaration and codec methods.
+type snapshotType struct {
+	name      string
+	spec      *ast.TypeSpec
+	st        *ast.StructType
+	marked    bool
+	marshal   *ast.FuncDecl
+	unmarshal *ast.FuncDecl
+}
+
+func runSnapshotsafe(p *Pass) {
+	// Collect structs (in source order) and codec methods.
+	var structs []*snapshotType
+	byName := map[string]*snapshotType{}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				s := &snapshotType{name: ts.Name.Name, spec: ts, st: st,
+					marked: hasSnapshotMarker(gd, ts)}
+				structs = append(structs, s)
+				byName[s.name] = s
+			}
+		}
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil {
+				continue
+			}
+			s := byName[recvTypeName(fd)]
+			if s == nil {
+				continue
+			}
+			switch fd.Name.Name {
+			case "MarshalBinary":
+				s.marshal = fd
+			case "UnmarshalBinary":
+				s.unmarshal = fd
+			}
+		}
+	}
+	for _, s := range structs {
+		checkSnapshotType(p, s)
+	}
+}
+
+// hasSnapshotMarker reports whether the type declaration carries a
+// //simlint:snapshot comment (on the GenDecl or the TypeSpec).
+func hasSnapshotMarker(gd *ast.GenDecl, ts *ast.TypeSpec) bool {
+	for _, cg := range []*ast.CommentGroup{gd.Doc, ts.Doc, ts.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, snapshotMarker) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// recvTypeName returns the name of a method's receiver type,
+// dereferencing a pointer receiver; "" when it is not a plain named
+// type.
+func recvTypeName(fd *ast.FuncDecl) string {
+	if len(fd.Recv.List) != 1 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+func checkSnapshotType(p *Pass, s *snapshotType) {
+	if s.marshal == nil && s.unmarshal == nil {
+		if s.marked {
+			p.Reportf(s.spec.Name.Pos(),
+				"%s is marked //simlint:snapshot but declares neither MarshalBinary nor UnmarshalBinary",
+				s.name)
+		}
+		return
+	}
+	if s.marshal == nil || s.unmarshal == nil {
+		have, miss := "MarshalBinary", "UnmarshalBinary"
+		if s.marshal == nil {
+			have, miss = miss, have
+		}
+		p.Reportf(s.spec.Name.Pos(),
+			"%s declares %s but not %s; snapshot codecs come in pairs",
+			s.name, have, miss)
+		return
+	}
+
+	fields := structFieldNames(s.st)
+	mSeq := codecFieldSeq(p, s, s.marshal)
+	uSeq := codecFieldSeq(p, s, s.unmarshal)
+	mAll := codecFieldClosure(p, s, s.marshal)
+	uAll := codecFieldClosure(p, s, s.unmarshal)
+
+	for _, f := range fields {
+		if !mAll[f.name] {
+			p.Reportf(f.pos, "field %s.%s is never written by MarshalBinary; "+
+				"persist it or annotate //simlint:ignore snapshotsafe", s.name, f.name)
+		}
+		if !uAll[f.name] {
+			p.Reportf(f.pos, "field %s.%s is never restored by UnmarshalBinary; "+
+				"decode it or annotate //simlint:ignore snapshotsafe", s.name, f.name)
+		}
+	}
+
+	// Order: the fields both methods touch directly must appear in
+	// the same relative order.
+	inU := map[string]int{}
+	for i, name := range uSeq {
+		inU[name] = i
+	}
+	last := -1
+	for _, name := range mSeq {
+		i, ok := inU[name]
+		if !ok {
+			continue
+		}
+		if i < last {
+			p.Reportf(s.unmarshal.Name.Pos(),
+				"%s.UnmarshalBinary decodes %s out of encode order (MarshalBinary order: %s)",
+				s.name, name, strings.Join(mSeq, ", "))
+			break
+		}
+		last = i
+	}
+
+	for _, fd := range []*ast.FuncDecl{s.marshal, s.unmarshal} {
+		if !mentionsVersion(fd) {
+			p.Reportf(fd.Name.Pos(),
+				"%s.%s carries no version tag (no identifier mentioning \"version\"); "+
+					"snapshots must be versioned before they can evolve",
+				s.name, fd.Name.Name)
+		}
+	}
+}
+
+// mentionsVersion reports whether fd's body mentions an identifier
+// whose name contains "version" — the codec's format-version hook.
+func mentionsVersion(fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok &&
+			strings.Contains(strings.ToLower(id.Name), "version") {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+type fieldDecl struct {
+	name string
+	pos  token.Pos
+}
+
+func structFieldNames(st *ast.StructType) []fieldDecl {
+	var out []fieldDecl
+	for _, f := range st.Fields.List {
+		for _, name := range f.Names {
+			out = append(out, fieldDecl{name.Name, name.Pos()})
+		}
+	}
+	return out
+}
+
+// codecFieldSeq returns the receiver fields of s referenced directly
+// in fd's body, in first-reference source order.
+func codecFieldSeq(p *Pass, s *snapshotType, fd *ast.FuncDecl) []string {
+	var seq []string
+	seen := map[string]bool{}
+	collectFieldRefs(p, s, fd, func(name string) {
+		if !seen[name] {
+			seen[name] = true
+			seq = append(seq, name)
+		}
+	})
+	return seq
+}
+
+// codecFieldClosure returns the receiver fields referenced by fd or
+// by same-type methods fd (transitively) calls — helpers that encode
+// a slice of fields still count toward completeness.
+func codecFieldClosure(p *Pass, s *snapshotType, fd *ast.FuncDecl) map[string]bool {
+	// Index the package's methods on s by name.
+	methods := map[string]*ast.FuncDecl{}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			if m, ok := decl.(*ast.FuncDecl); ok && m.Recv != nil && recvTypeName(m) == s.name {
+				methods[m.Name.Name] = m
+			}
+		}
+	}
+	out := map[string]bool{}
+	visited := map[string]bool{}
+	var visit func(fd *ast.FuncDecl)
+	visit = func(fd *ast.FuncDecl) {
+		if visited[fd.Name.Name] {
+			return
+		}
+		visited[fd.Name.Name] = true
+		collectFieldRefs(p, s, fd, func(name string) { out[name] = true })
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if m := methods[sel.Sel.Name]; m != nil {
+					visit(m)
+				}
+			}
+			return true
+		})
+	}
+	visit(fd)
+	return out
+}
+
+// collectFieldRefs calls mark for every reference to a field of s's
+// struct through fd's receiver, in source order.
+func collectFieldRefs(p *Pass, s *snapshotType, fd *ast.FuncDecl, mark func(string)) {
+	if fd.Body == nil {
+		return
+	}
+	recv := receiverObj(p, fd)
+	if recv == nil {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok || p.Info.Uses[id] != recv {
+			return true
+		}
+		if selection, ok := p.Info.Selections[sel]; ok && selection.Kind() == types.FieldVal {
+			mark(sel.Sel.Name)
+		}
+		return true
+	})
+}
+
+// receiverObj returns the types.Var of fd's named receiver, or nil.
+func receiverObj(p *Pass, fd *ast.FuncDecl) types.Object {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+		return nil
+	}
+	return p.Info.Defs[fd.Recv.List[0].Names[0]]
+}

@@ -1,0 +1,57 @@
+// Package attrcover_bad accumulates cost into elapsed time without
+// probe attribution in every form the analyzer reports.
+package attrcover_bad
+
+import (
+	"repro/internal/probe"
+	"repro/internal/units"
+)
+
+// clock mirrors sim.Clock; Advance's parameter is the cost sink.
+type clock struct{ now units.Time }
+
+func (c *clock) Advance(d units.Time) { c.now += d }
+
+// Comp has a probe counter but forgets to use it on several paths.
+type Comp struct {
+	clk     clock
+	stall   probe.TimeCounter
+	pending units.Time
+	elapsed units.Time
+}
+
+// StepVar drops a computed cost variable into the clock unattributed
+// — the exact shape of the PR 6 issue-slot findings in internal/node.
+func (c *Comp) StepVar() {
+	slot := c.penalty()
+	c.clk.Advance(slot) // want:attrcover slot flows into elapsed time
+}
+
+// StepSum attributes the stall partner but not the slot.
+func (c *Comp) StepSum() {
+	slot := c.penalty()
+	stall := c.penalty()
+	c.stall.Add(stall)
+	c.clk.Advance(slot + stall) // want:attrcover slot flows into elapsed time
+}
+
+// StepCall feeds a non-attributing callee's cost straight into the
+// sink.
+func (c *Comp) StepCall() {
+	c.clk.Advance(c.penalty()) // want:attrcover cost from attrcover_bad.Comp.penalty flows into elapsed time
+}
+
+// StepField spends stored state as cost without attribution.
+func (c *Comp) StepField() {
+	c.clk.Advance(c.pending) // want:attrcover field pending flows into elapsed time
+}
+
+// Accumulate attributes its parameter but not the extra term of the
+// += accumulation.
+func (c *Comp) Accumulate(d units.Time) {
+	extra := c.penalty()
+	c.stall.Add(d)
+	c.elapsed += d + extra // want:attrcover extra flows into elapsed time
+}
+
+func (c *Comp) penalty() units.Time { return 3 * units.Nanosecond }

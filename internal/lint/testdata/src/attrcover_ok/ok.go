@@ -1,0 +1,81 @@
+// Package attrcover_ok accumulates cost into elapsed time in every
+// form the analyzer accepts. lint_test.go asserts it is clean.
+package attrcover_ok
+
+import (
+	"repro/internal/probe"
+	"repro/internal/units"
+)
+
+// clock mirrors sim.Clock: the `now += d` accumulation is the seed
+// that makes Advance's parameter a cost sink.
+type clock struct{ now units.Time }
+
+func (c *clock) Advance(d units.Time) { c.now += d }
+
+// Comp is a component whose timing is fully probe-attributed.
+type Comp struct {
+	clk  clock
+	busy probe.TimeCounter
+	// elapsed is a secondary Time accumulator (a += site of its own).
+	elapsed units.Time
+}
+
+// Advance forwards its bare parameter into the clock's sink, which
+// makes it a sink too: callers are checked, this body is not.
+func (c *Comp) Advance(d units.Time) { c.clk.Advance(d) }
+
+// constantCost: constants are scale factors, not dropped costs.
+func (c *Comp) constantCost() { c.clk.Advance(5 * units.Nanosecond) }
+
+// attributedVar: a variable that also reaches a probe counter Add is
+// covered, alone or inside a sum.
+func (c *Comp) attributedVar(ready units.Time) {
+	slot := c.penalty()
+	stall := ready
+	c.busy.Add(slot)
+	c.busy.Add(stall)
+	c.clk.Advance(slot + stall)
+}
+
+// attributingCallee: charge adds its cost to the busy counter before
+// returning it, so both the direct-call operand and a variable
+// assigned from the call are covered.
+func (c *Comp) attributingCallee() {
+	c.clk.Advance(c.charge())
+	d := c.charge()
+	c.clk.Advance(d)
+}
+
+// fieldAccumulator: the += site itself demands attribution of its
+// right-hand side, which the Add call provides.
+func (c *Comp) fieldAccumulator() {
+	d := c.penalty()
+	c.busy.Add(d)
+	c.elapsed += d
+}
+
+// passedToAttributor: handing a variable to an attributing helper
+// covers it at the later sink.
+func (c *Comp) passedToAttributor() {
+	d := c.penalty()
+	c.note(d)
+	c.clk.Advance(d)
+}
+
+// dynamicBoundary: calls that do not resolve statically are
+// boundaries, never findings.
+func (c *Comp) dynamicBoundary(cost func() units.Time) {
+	c.busy.Add(0)
+	c.clk.Advance(cost())
+}
+
+func (c *Comp) charge() units.Time {
+	d := c.penalty()
+	c.busy.Add(d)
+	return d
+}
+
+func (c *Comp) note(d units.Time) { c.busy.Add(d) }
+
+func (c *Comp) penalty() units.Time { return 3 * units.Nanosecond }

@@ -1,0 +1,86 @@
+// Package snapshotsafe_bad breaks the snapshot codec contract in
+// every form the analyzer reports.
+package snapshotsafe_bad
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+const wireVersion = 1
+
+// NoCodec promises a snapshot it never implements.
+//
+//simlint:snapshot
+type NoCodec struct { // want:snapshotsafe marked //simlint:snapshot but declares neither
+	A int64
+}
+
+// Half encodes but can never decode.
+type Half struct { // want:snapshotsafe declares MarshalBinary but not UnmarshalBinary
+	A int64
+}
+
+func (h *Half) MarshalBinary() ([]byte, error) {
+	buf := []byte{wireVersion}
+	return binary.LittleEndian.AppendUint64(buf, uint64(h.A)), nil
+}
+
+// Missing drops a field on the encode side: snapshots of it lose B.
+type Missing struct {
+	A int64
+	B int64 // want:snapshotsafe field Missing.B is never written by MarshalBinary
+}
+
+func (m *Missing) MarshalBinary() ([]byte, error) {
+	buf := []byte{wireVersion}
+	return binary.LittleEndian.AppendUint64(buf, uint64(m.A)), nil
+}
+
+func (m *Missing) UnmarshalBinary(data []byte) error {
+	if len(data) < 17 || data[0] != wireVersion {
+		return errors.New("bad version")
+	}
+	m.A = int64(binary.LittleEndian.Uint64(data[1:]))
+	m.B = int64(binary.LittleEndian.Uint64(data[9:]))
+	return nil
+}
+
+// Reorder decodes the fields in the opposite order it encodes them:
+// the wire layout skews silently.
+type Reorder struct {
+	A int64
+	B int64
+}
+
+func (r *Reorder) MarshalBinary() ([]byte, error) {
+	buf := []byte{wireVersion}
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(r.A))
+	return binary.LittleEndian.AppendUint64(buf, uint64(r.B)), nil
+}
+
+func (r *Reorder) UnmarshalBinary(data []byte) error { // want:snapshotsafe decodes B out of encode order
+	if len(data) < 17 || data[0] != wireVersion {
+		return errors.New("bad version")
+	}
+	r.B = int64(binary.LittleEndian.Uint64(data[1:]))
+	r.A = int64(binary.LittleEndian.Uint64(data[9:]))
+	return nil
+}
+
+// NoVersion round-trips its field but ships an unversioned format.
+type NoVersion struct {
+	A int64
+}
+
+func (n *NoVersion) MarshalBinary() ([]byte, error) { // want:snapshotsafe carries no version tag
+	return binary.LittleEndian.AppendUint64(nil, uint64(n.A)), nil
+}
+
+func (n *NoVersion) UnmarshalBinary(data []byte) error { // want:snapshotsafe carries no version tag
+	if len(data) < 8 {
+		return errors.New("short")
+	}
+	n.A = int64(binary.LittleEndian.Uint64(data))
+	return nil
+}

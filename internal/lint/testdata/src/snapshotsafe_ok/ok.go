@@ -1,0 +1,108 @@
+// Package snapshotsafe_ok declares binary snapshot codecs in every
+// accepted form. lint_test.go asserts it is clean.
+package snapshotsafe_ok
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// gridVersion is the wire-format version both codec halves check.
+const gridVersion = 1
+
+// Grid carries the snapshot marker and a complete, ordered,
+// versioned codec.
+//
+//simlint:snapshot
+type Grid struct {
+	Name string
+	Vals []float64
+}
+
+// MarshalBinary encodes the version tag, then every field in
+// declaration order.
+func (g *Grid) MarshalBinary() ([]byte, error) {
+	buf := []byte{gridVersion}
+	buf = append(buf, byte(len(g.Name)))
+	buf = append(buf, g.Name...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(g.Vals)))
+	for _, v := range g.Vals {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary decodes in the same order behind the version check.
+func (g *Grid) UnmarshalBinary(data []byte) error {
+	if len(data) < 2 || data[0] != gridVersion {
+		return errors.New("bad grid snapshot version")
+	}
+	n := int(data[1])
+	g.Name = string(data[2 : 2+n])
+	g.Vals = make([]float64, 0)
+	return nil
+}
+
+// Pair has no marker — declaring the method pair is enough to opt in
+// — and encodes one field through a same-type helper, which counts.
+type Pair struct {
+	A int64
+	B int64
+}
+
+func (p *Pair) MarshalBinary() ([]byte, error) {
+	var buf []byte
+	buf = append(buf, pairVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(p.A))
+	return p.appendB(buf), nil
+}
+
+func (p *Pair) UnmarshalBinary(data []byte) error {
+	if len(data) < 17 || data[0] != pairVersion {
+		return errors.New("bad pair snapshot version")
+	}
+	p.A = int64(binary.LittleEndian.Uint64(data[1:]))
+	return p.readB(data[9:])
+}
+
+const pairVersion = 2
+
+func (p *Pair) appendB(buf []byte) []byte {
+	return binary.LittleEndian.AppendUint64(buf, uint64(p.B))
+}
+
+func (p *Pair) readB(data []byte) error {
+	p.B = int64(binary.LittleEndian.Uint64(data))
+	return nil
+}
+
+// Transient is no snapshot type at all: no marker, no codec, nothing
+// to check.
+type Transient struct {
+	Scratch []byte
+}
+
+// Cached opts in via the marker and excuses a derived field with a
+// directive.
+//
+//simlint:snapshot
+type Cached struct {
+	Rows int64
+	//simlint:ignore snapshotsafe sum is recomputed from Rows on load
+	sum int64
+}
+
+func (c *Cached) MarshalBinary() ([]byte, error) {
+	buf := []byte{cachedVersion}
+	return binary.LittleEndian.AppendUint64(buf, uint64(c.Rows)), nil
+}
+
+func (c *Cached) UnmarshalBinary(data []byte) error {
+	if len(data) < 9 || data[0] != cachedVersion {
+		return errors.New("bad cached snapshot version")
+	}
+	c.Rows = int64(binary.LittleEndian.Uint64(data[1:]))
+	return nil
+}
+
+const cachedVersion = 1

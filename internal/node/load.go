@@ -15,6 +15,7 @@ func (n *Node) LoadWord(a access.Addr) {
 	ready := n.resolveLoad(a, now)
 	stall := n.window.Stall(now, ready, slot)
 	n.loads.Inc()
+	n.issueTime.Add(slot)
 	n.loadStall.Add(stall)
 	n.clock.Advance(slot + stall)
 }

@@ -187,6 +187,7 @@ type Node struct {
 	loads, stores   probe.Counter
 	loadStall       probe.TimeCounter
 	storeStall      probe.TimeCounter
+	issueTime       probe.TimeCounter
 	dramFills       probe.Counter
 	dramStreamFills probe.Counter
 	engineReads     probe.Counter
@@ -280,6 +281,7 @@ func New(id int, cfg Config) *Node {
 	n.stores = ps.Counter("stores")
 	n.loadStall = ps.TimeCounter("load_stall")
 	n.storeStall = ps.TimeCounter("store_stall")
+	n.issueTime = ps.TimeCounter("issue_time")
 	n.dramFills = ps.Counter("dram_fills")
 	n.dramStreamFills = ps.Counter("dram_stream_fills")
 	n.engineReads = ps.Counter("engine_reads")
@@ -453,7 +455,9 @@ func (n *Node) Holds(a access.Addr) bool {
 
 // SegmentStart charges the benchmark outer-loop restart overhead.
 func (n *Node) SegmentStart() {
-	n.clock.Advance(n.cfg.CPU.SegmentOverhead())
+	ov := n.cfg.CPU.SegmentOverhead()
+	n.issueTime.Add(ov)
+	n.clock.Advance(ov)
 }
 
 // FlushWrites drains the write buffer and advances the clock to the

@@ -25,6 +25,7 @@ func (n *Node) LoadRun(start access.Addr, step, count int64) {
 		ready := n.resolveLoad(a, now)
 		stall := n.window.StallHidden(now, ready, hide)
 		n.loads.Inc()
+		n.issueTime.Add(slot)
 		n.loadStall.Add(stall)
 		n.clock.Advance(slot + stall)
 		a += access.Addr(step)
@@ -40,6 +41,7 @@ func (n *Node) StoreRun(start access.Addr, step, count int64) {
 		now := n.clock.Now()
 		stall := n.resolveStore(a, now)
 		n.stores.Inc()
+		n.issueTime.Add(slot)
 		n.storeStall.Add(stall)
 		n.clock.Advance(slot + stall)
 		a += access.Addr(step)
@@ -100,6 +102,7 @@ func (n *Node) CopyRun(src access.Addr, srcStep int64, dst access.Addr, dstStep 
 		storeStall = n.resolveStore(dst, now+loadStall)
 		n.loads.Inc()
 		n.stores.Inc()
+		n.issueTime.Add(slot)
 		n.loadStall.Add(loadStall)
 		n.storeStall.Add(storeStall)
 		n.clock.Advance(slot + loadStall + storeStall)

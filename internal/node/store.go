@@ -14,6 +14,7 @@ func (n *Node) StoreWord(a access.Addr) {
 	slot := n.cfg.CPU.StoreSlot()
 	stall := n.resolveStore(a, now)
 	n.stores.Inc()
+	n.issueTime.Add(slot)
 	n.storeStall.Add(stall)
 	n.clock.Advance(slot + stall)
 }
@@ -28,6 +29,7 @@ func (n *Node) CopyWord(src, dst access.Addr) {
 	storeStall := n.resolveStore(dst, now+loadStall)
 	n.loads.Inc()
 	n.stores.Inc()
+	n.issueTime.Add(slot)
 	n.loadStall.Add(loadStall)
 	n.storeStall.Add(storeStall)
 	n.clock.Advance(slot + loadStall + storeStall)

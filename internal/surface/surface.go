@@ -31,7 +31,12 @@ func WorkingSets(lo, hi units.Bytes) []units.Bytes {
 	return out
 }
 
-// Surface is a bandwidth grid over (working set, stride).
+// Surface is a bandwidth grid over (working set, stride). It is the
+// simulator's first persistent artifact: snapshot.go gives it a
+// versioned binary codec (the memserve surface store's wire format),
+// and the snapshotsafe analyzer holds the codec to the struct.
+//
+//simlint:snapshot
 type Surface struct {
 	Machine     string
 	Title       string

@@ -1,9 +1,11 @@
 #!/bin/sh
 # scripts/bench.sh — time the full figure sweep sequentially and in
-# parallel, verify the artifacts are byte-identical, time a simlint
-# pass over the whole module, and record the results in
-# BENCH_sweeps.json (wall-clock seconds and grid points per second
-# for each worker count, plus simlint seconds).
+# parallel, verify the artifacts are byte-identical, time simlint over
+# the whole module three ways (uncached, cold cache, warm cache —
+# checking the cached findings match the uncached ones byte for byte),
+# and record the results in BENCH_sweeps.json (wall-clock seconds and
+# grid points per second for each worker count, plus simlint timings
+# and the warm-cache hit rate).
 #
 # Run it from the repository root: ./scripts/bench.sh [jobs]
 # `jobs` defaults to the host's logical CPU count.
@@ -59,16 +61,41 @@ cmp "$TMP/seq.stdout" "$TMP/par.stdout"
 diff -r "$TMP/par" "$TMP/traced"
 echo "   artifacts byte-identical across worker counts and tracing"
 
-echo "== simlint ./... =="
+echo "== simlint ./... (uncached) =="
 start=$(date +%s.%N)
-"$TMP/simlint" ./...
+"$TMP/simlint" -cache=false ./... >"$TMP/lint_uncached.stdout"
 end=$(date +%s.%N)
 TLINT=$(echo "$start $end" | awk '{printf "%.2f", $2 - $1}')
 echo "   ${TLINT}s"
 
+echo "== simlint ./... (cold cache) =="
+start=$(date +%s.%N)
+"$TMP/simlint" -v -cache-dir "$TMP/simlintcache" ./... >"$TMP/lint_cold.stdout" \
+    2>"$TMP/lint_cold.stderr"
+end=$(date +%s.%N)
+TCOLD=$(echo "$start $end" | awk '{printf "%.2f", $2 - $1}')
+echo "   ${TCOLD}s"
+
+echo "== simlint ./... (warm cache) =="
+start=$(date +%s.%N)
+"$TMP/simlint" -v -cache-dir "$TMP/simlintcache" ./... >"$TMP/lint_warm.stdout" \
+    2>"$TMP/lint_warm.stderr"
+end=$(date +%s.%N)
+TWARM=$(echo "$start $end" | awk '{printf "%.2f", $2 - $1}')
+echo "   ${TWARM}s"
+
+# Cached findings must be byte-identical to uncached ones, and the
+# warm run must be served entirely from cache.
+cmp "$TMP/lint_uncached.stdout" "$TMP/lint_cold.stdout"
+cmp "$TMP/lint_uncached.stdout" "$TMP/lint_warm.stdout"
+HITRATE=$(sed -n 's|^simlint: cache: \([0-9]*\)/\([0-9]*\) package hits.*|\1 \2|p' \
+    "$TMP/lint_warm.stderr" | awk '{printf "%.3f", $1 / $2}')
+echo "   warm hit rate: $HITRATE, findings byte-identical"
+
 POINTS=$(cat "$TMP/seq.points")
 awk -v t1="$T1" -v tn="$TN" -v ttrace="$TTRACE" -v jobs="$JOBS" \
     -v points="$POINTS" -v tlint="$TLINT" \
+    -v tcold="$TCOLD" -v twarm="$TWARM" -v hitrate="$HITRATE" \
     -v cpus="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)" 'BEGIN {
     printf "{\n"
     printf "  \"benchmark\": \"figures -all (figures 1-17 + tables A-C)\",\n"
@@ -78,7 +105,7 @@ awk -v t1="$T1" -v tn="$TN" -v ttrace="$TTRACE" -v jobs="$JOBS" \
     printf "  \"par\": {\"jobs\": %d, \"seconds\": %.2f, \"points_per_sec\": %.1f},\n", jobs, tn, points / tn
     printf "  \"traced\": {\"jobs\": %d, \"seconds\": %.2f, \"overhead_vs_par\": %.3f},\n", jobs, ttrace, ttrace / tn - 1
     printf "  \"speedup\": %.2f,\n", t1 / tn
-    printf "  \"simlint\": {\"target\": \"./...\", \"seconds\": %.2f}\n", tlint
+    printf "  \"simlint\": {\"target\": \"./...\", \"seconds\": %.2f, \"cold_seconds\": %.2f, \"warm_seconds\": %.2f, \"cache_hit_rate\": %.3f}\n", tlint, tcold, twarm, hitrate
     printf "}\n"
 }' >"$OUT"
 

@@ -7,7 +7,12 @@
 #   3. go vet ./...       — the stock analyzers
 #   4. simlint ./...      — the domain analyzers (unit safety,
 #                           cycle flow, ColdReset completeness,
-#                           sweep safety, determinism)
+#                           sweep safety, determinism, probe guard,
+#                           attribution coverage, snapshot safety),
+#                           run through the incremental cache, judged
+#                           against lint.baseline.json (only NEW
+#                           findings fail), with a SARIF log left in
+#                           out/simlint.sarif
 #   5. simlint -fix -dry-run ./... — pending autofixes are a hard
 #                           failure: apply them (make lint-fix) or
 #                           justify with a directive
@@ -34,7 +39,8 @@ echo "== go vet =="
 go vet ./...
 
 echo "== simlint =="
-go run ./cmd/simlint ./...
+mkdir -p out
+go run ./cmd/simlint -sarif out/simlint.sarif -baseline lint.baseline.json ./...
 
 echo "== simlint -fix -dry-run =="
 go run ./cmd/simlint -fix -dry-run ./...
