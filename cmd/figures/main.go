@@ -34,6 +34,7 @@ func main() {
 	out := flag.String("out", "out", "output directory for -all")
 	maxWS := flag.String("maxws", "8M", "largest working set for surfaces (bytes, or sizes like 512K, 8M)")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "sweep workers (1 = sequential)")
+	fast := flag.Bool("fast", false, "model-guided adaptive sweeps: fill analytically confident cells, simulate the rest")
 	trace := flag.Bool("trace", false, "enable probe event tracing on every simulated machine")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
@@ -63,9 +64,9 @@ func main() {
 
 	switch {
 	case *fig != 0:
-		err = printFigure(ms, ps, *fig, ws)
+		err = printFigure(ms, ps, *fig, ws, *fast)
 	case *all:
-		err = writeAll(ms, ps, *out, ws)
+		err = writeAll(ms, ps, *out, ws, *fast)
 	default:
 		err = tables(ms, characterize(ps))
 	}
@@ -131,8 +132,50 @@ func characterize(ps map[string]*sweep.Pool) map[string]*core.Characterization {
 	return cs
 }
 
+// pruneStats accumulates the simulated-cell fraction of a -fast run.
+type pruneStats struct {
+	simulated, total int
+}
+
+func (st *pruneStats) note(sim, total int) {
+	st.simulated += sim
+	st.total += total
+}
+
+func (st *pruneStats) report() {
+	if st.total == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "fast sweep: simulated %d of %d cells (%.0f%%), filled the rest analytically\n",
+		st.simulated, st.total, 100*float64(st.simulated)/float64(st.total))
+}
+
+// loadSurf and transferSurf produce one surface, honouring -fast.
+func loadSurf(p *sweep.Pool, maxWS units.Bytes, fast bool, st *pruneStats) *surface.Surface {
+	if fast {
+		s, sim, total := report.LoadFigurePruned(p, maxWS)
+		st.note(sim, total)
+		return s
+	}
+	return report.LoadFigure(p, maxWS)
+}
+
+func transferSurf(p *sweep.Pool, mode machine.Mode, maxWS units.Bytes, fast bool, st *pruneStats) (*surface.Surface, error) {
+	if fast {
+		s, sim, total, err := report.TransferFigurePruned(p, mode, maxWS)
+		if err != nil {
+			return nil, err
+		}
+		st.note(sim, total)
+		return s, nil
+	}
+	return report.TransferFigure(p, mode, maxWS)
+}
+
 // figureSpec describes how to produce each numbered figure.
-func printFigure(ms map[string]machine.Machine, ps map[string]*sweep.Pool, fig int, maxWS units.Bytes) error {
+func printFigure(ms map[string]machine.Machine, ps map[string]*sweep.Pool, fig int, maxWS units.Bytes, fast bool) error {
+	var st pruneStats
+	defer st.report()
 	emitSurface := func(s *surface.Surface) {
 		fmt.Print(s.ASCII())
 	}
@@ -143,37 +186,37 @@ func printFigure(ms map[string]machine.Machine, ps map[string]*sweep.Pool, fig i
 	}
 	switch fig {
 	case 1:
-		emitSurface(report.LoadFigure(ps["8400"], maxWS))
+		emitSurface(loadSurf(ps["8400"], maxWS, fast, &st))
 	case 2:
-		s, err := report.TransferFigure(ps["8400"], machine.Fetch, maxWS)
+		s, err := transferSurf(ps["8400"], machine.Fetch, maxWS, fast, &st)
 		if err != nil {
 			return err
 		}
 		emitSurface(s)
 	case 3:
-		emitSurface(report.LoadFigure(ps["t3d"], maxWS))
+		emitSurface(loadSurf(ps["t3d"], maxWS, fast, &st))
 	case 4:
-		s, err := report.TransferFigure(ps["t3d"], machine.Fetch, maxWS)
+		s, err := transferSurf(ps["t3d"], machine.Fetch, maxWS, fast, &st)
 		if err != nil {
 			return err
 		}
 		emitSurface(s)
 	case 5:
-		s, err := report.TransferFigure(ps["t3d"], machine.Deposit, maxWS)
+		s, err := transferSurf(ps["t3d"], machine.Deposit, maxWS, fast, &st)
 		if err != nil {
 			return err
 		}
 		emitSurface(s)
 	case 6:
-		emitSurface(report.LoadFigure(ps["t3e"], maxWS))
+		emitSurface(loadSurf(ps["t3e"], maxWS, fast, &st))
 	case 7:
-		s, err := report.TransferFigure(ps["t3e"], machine.Fetch, maxWS)
+		s, err := transferSurf(ps["t3e"], machine.Fetch, maxWS, fast, &st)
 		if err != nil {
 			return err
 		}
 		emitSurface(s)
 	case 8:
-		s, err := report.TransferFigure(ps["t3e"], machine.Deposit, maxWS)
+		s, err := transferSurf(ps["t3e"], machine.Deposit, maxWS, fast, &st)
 		if err != nil {
 			return err
 		}
@@ -217,10 +260,12 @@ func printFigure(ms map[string]machine.Machine, ps map[string]*sweep.Pool, fig i
 
 func first2(a, b *surface.Curve) (x, y *surface.Curve) { return a, b }
 
-func writeAll(ms map[string]machine.Machine, ps map[string]*sweep.Pool, dir string, maxWS units.Bytes) error {
+func writeAll(ms map[string]machine.Machine, ps map[string]*sweep.Pool, dir string, maxWS units.Bytes, fast bool) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
+	var st pruneStats
+	defer st.report()
 	write := func(name, content string) error {
 		return os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644)
 	}
@@ -245,9 +290,9 @@ func writeAll(ms map[string]machine.Machine, ps map[string]*sweep.Pool, dir stri
 		var s *surface.Surface
 		var err error
 		if j.load {
-			s = report.LoadFigure(j.pool, maxWS)
+			s = loadSurf(j.pool, maxWS, fast, &st)
 		} else {
-			s, err = report.TransferFigure(j.pool, j.mode, maxWS)
+			s, err = transferSurf(j.pool, j.mode, maxWS, fast, &st)
 			if err != nil {
 				return err
 			}

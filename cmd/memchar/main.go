@@ -8,6 +8,8 @@
 //	memchar -machine 8400 -what remote   # transfer surface (fetch)
 //	memchar -machine t3d -what copy      # local copy curves
 //	memchar -what headline               # headline table, all machines
+//	memchar -machine t3e -what local -analytic   # closed-form surface, no simulation
+//	memchar -validate                    # analytic model vs simulation, all surfaces
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"runtime/pprof"
 
 	"repro/internal/access"
+	"repro/internal/analytic"
 	"repro/internal/bench"
 	"repro/internal/machine"
 	"repro/internal/surface"
@@ -32,6 +35,9 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of ASCII art")
 	maxWS := flag.String("maxws", "8M", "largest working set (bytes, or sizes like 512K, 8M)")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "sweep workers (1 = sequential)")
+	useModel := flag.Bool("analytic", false, "compute surfaces from the closed-form model instead of simulating")
+	validate := flag.Bool("validate", false, "diff the analytic model against the simulator and report per-regime divergence")
+	tol := flag.Float64("tol", 0.15, "per-regime mean divergence tolerance for -validate")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
@@ -55,21 +61,38 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
+	if *validate {
+		os.Exit(runValidate(pick(*mach), *jobs, ws, *tol))
+	}
+
 	for _, factory := range pick(*mach) {
 		p := sweep.NewPool(factory, *jobs)
 		m := p.Machine()
 		switch *what {
 		case "local":
-			s := bench.LoadSurface(p, 0, surface.PaperStrides,
-				surface.WorkingSets(units.KB/2, ws))
+			var s *surface.Surface
+			if *useModel {
+				s = analytic.LoadSurface(m.Calibration(), surface.PaperStrides,
+					surface.WorkingSets(units.KB/2, ws))
+			} else {
+				s = bench.LoadSurface(p, 0, surface.PaperStrides,
+					surface.WorkingSets(units.KB/2, ws))
+			}
 			emit(s, *csv)
 		case "remote":
 			md := machine.Fetch
 			if *mode == "deposit" {
 				md = machine.Deposit
 			}
-			s, err := bench.TransferSurface(p, 0, machine.PreferredPartner(m), md, surface.PaperStrides,
-				surface.WorkingSets(units.KB/2, ws))
+			var s *surface.Surface
+			var err error
+			if *useModel {
+				s, err = analytic.TransferSurface(m.Calibration(), md, surface.PaperStrides,
+					surface.WorkingSets(units.KB/2, ws))
+			} else {
+				s, err = bench.TransferSurface(p, 0, machine.PreferredPartner(m), md, surface.PaperStrides,
+					surface.WorkingSets(units.KB/2, ws))
+			}
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "%s: %v\n", m.Name(), err)
 				continue
@@ -114,6 +137,56 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runValidate sweeps every surface of every selected machine twice —
+// simulated and closed-form — and prints the divergence reports.
+// Returns a nonzero exit status when any regime's mean divergence
+// exceeds tol.
+func runValidate(factories []func() machine.Machine, jobs int, maxWS units.Bytes, tol float64) int {
+	strides := surface.PaperStrides
+	wss := surface.WorkingSets(units.KB/2, maxWS)
+	status := 0
+	for _, factory := range factories {
+		p := sweep.NewPool(factory, jobs)
+		m := p.Machine()
+		cal := m.Calibration()
+		model := analytic.New(cal)
+		check := func(r *analytic.Report, err error) {
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memchar: %s: %v\n", m.Name(), err)
+				status = 1
+				return
+			}
+			fmt.Println(r.Render(model))
+			if err := r.Check(tol); err != nil {
+				fmt.Fprintln(os.Stderr, "memchar:", err)
+				status = 1
+			}
+		}
+		sim := bench.LoadSurface(p, 0, strides, wss)
+		check(analytic.Compare(sim, analytic.LoadSurface(cal, strides, wss), model))
+		modes := []machine.Mode{machine.Fetch}
+		if _, ok := m.(*machine.SMP); !ok {
+			modes = append(modes, machine.Deposit)
+		}
+		for _, md := range modes {
+			simT, err := bench.TransferSurface(p, 0, machine.PreferredPartner(m), md, strides, wss)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memchar: %s: %v\n", m.Name(), err)
+				status = 1
+				continue
+			}
+			modT, err := analytic.TransferSurface(cal, md, strides, wss)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memchar: %s: %v\n", m.Name(), err)
+				status = 1
+				continue
+			}
+			check(analytic.Compare(simT, modT, model))
+		}
+	}
+	return status
 }
 
 func pick(name string) []func() machine.Machine {

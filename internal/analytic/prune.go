@@ -1,0 +1,153 @@
+package analytic
+
+import (
+	"repro/internal/machine"
+	"repro/internal/units"
+)
+
+// Pruner classifies sweep-grid cells by how confidently the closed
+// form predicts them. A model-guided adaptive sweep fills the
+// confident cells analytically and keeps the simulator as the oracle
+// for the rest — the regime-transition rows and the stride bands
+// where the model's own error budget says transient state matters.
+//
+// The rules mirror the divergence report's missed mechanisms: each
+// names a place the model replaces a stateful interaction with a
+// plateau formula, so a cell near the crossover is exactly a cell
+// where the formula's inputs sit on a knife edge.
+type Pruner struct {
+	m *Model
+}
+
+// NewPruner builds a pruner over the calibration.
+func NewPruner(cal machine.Calibration) *Pruner { return &Pruner{m: New(cal)} }
+
+// Model returns the model the pruner consults, so a pruned sweep can
+// fill the confident cells from the same instance.
+func (p *Pruner) Model() *Model { return p.m }
+
+// boundary reports whether ws sits within a factor of two of a cache
+// capacity — the regime-transition rows where partial survival makes
+// every plateau formula suspect.
+func (p *Pruner) boundary(ws units.Bytes) bool {
+	lvl := p.m.providerLevel(ws)
+	return lvl != p.m.providerLevel(ws*2) || lvl != p.m.providerLevel(ws/2)
+}
+
+// UncertainLoad reports whether a local-load cell should be simulated.
+func (p *Pruner) UncertainLoad(ws units.Bytes, stride int) bool {
+	if p.boundary(ws) {
+		return true
+	}
+	lvl := p.m.providerLevel(ws)
+	if lvl == 0 {
+		// Pure issue bound: the model is exact.
+		return false
+	}
+	step := units.Bytes(stride) * units.Word
+	gran := p.m.granularity(lvl)
+	touches := int(gran / units.Word)
+	if step <= gran || touches <= 1 {
+		// Sequential blend. Its only soft spot is the stream detector
+		// training band, one to two provider lines per step.
+		line := p.m.cal.DRAM.LineBytes
+		if lvl < len(p.m.cal.Levels) {
+			line = p.m.cal.Levels[lvl].LineBytes
+		}
+		return step > line && step < 2*line
+	}
+	// Absorber path: the repeat traffic's home is decided by footprint,
+	// set folding, and direct-mapped wrap partners. Any of the three
+	// sitting near its threshold makes the miss fraction fragile.
+	lines := int64(ws / step)
+	if lines < 1 {
+		lines = 1
+	}
+	for a := 0; a < lvl && a < len(p.m.cal.Levels); a++ {
+		l := p.m.cal.Levels[a]
+		assoc := l.Assoc
+		if assoc < 1 {
+			assoc = 1
+		}
+		limit := l.Size
+		if assoc >= 2 {
+			limit += l.Size / 8
+		}
+		foot := float64(units.Bytes(lines)*l.LineBytes) / float64(limit)
+		if foot > 0.75 && foot < 1.75 {
+			return true
+		}
+		if foot > 1 {
+			continue
+		}
+		setSpan := l.Size / units.Bytes(assoc)
+		fold := step.GCD(setSpan)
+		if fold < l.LineBytes {
+			fold = l.LineBytes
+		}
+		positions := int64(setSpan / fold)
+		if positions < 1 {
+			positions = 1
+		}
+		cram := float64(lines) / float64(positions*int64(assoc))
+		if cram > 0.75 && cram < 1.75 {
+			return true
+		}
+		if cram > 1 {
+			continue
+		}
+		if assoc == 1 && ws > l.Size {
+			shift := minPartnerShift(ws, l.Size, stride)
+			if shift > 0 && shift <= 2*int64(touches) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// UncertainTransfer reports whether a remote-transfer cell should be
+// simulated.
+func (p *Pruner) UncertainTransfer(mode machine.Mode, ws units.Bytes, stride int) bool {
+	cal := p.m.cal
+	step := units.Bytes(stride) * units.Word
+	if cal.HasBus {
+		// The pull model's fragile zones: regime transitions, the
+		// partial landing-alias band just past the upper cache, and
+		// the line-stride band where the refetch burstiness peaks.
+		if p.boundary(ws) {
+			return true
+		}
+		deepest := cal.Levels[len(cal.Levels)-1]
+		upper := cal.Levels[len(cal.Levels)-2]
+		dstWS := ws
+		if dstWS > cal.ConsumeBufBytes {
+			dstWS = cal.ConsumeBufBytes
+		}
+		if ws+dstWS > upper.Size && ws+dstWS <= 2*upper.Size {
+			return true
+		}
+		lineB := cal.DRAM.LineBytes
+		if step >= lineB && step <= 2*lineB {
+			return true
+		}
+		return ws > deepest.Size
+	}
+	// Torus machines: the remote engines stream past the cache
+	// hierarchy, so capacity boundaries don't matter — validation shows
+	// sub-1% divergence across them. The only transients left are the
+	// pipeline-fill constant at tiny transfers and the deposit bank
+	// bursts near the E-register window.
+	if ws <= 2*units.KB {
+		return true
+	}
+	if mode == machine.Deposit && cal.EReg.Registers > 0 {
+		d := cal.DRAM
+		if d.Banks > 1 && d.InterleaveBytes > 0 && step >= d.InterleaveBytes &&
+			step%d.InterleaveBytes == 0 && int(step/d.InterleaveBytes)%d.Banks == 0 {
+			return true
+		}
+	}
+	return false
+}

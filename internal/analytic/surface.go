@@ -1,0 +1,44 @@
+package analytic
+
+import (
+	"repro/internal/machine"
+	"repro/internal/surface"
+	"repro/internal/units"
+)
+
+// LoadSurface computes the full analytic load surface — the same grid
+// bench.LoadSurface simulates, in closed form. Machine, title, and
+// axes match the simulated artifact so the two can be diffed cell by
+// cell; every cell is tagged Analytic and the calibration hash is
+// stamped.
+func LoadSurface(cal machine.Calibration, strides []int, wss []units.Bytes) *surface.Surface {
+	m := New(cal)
+	s := surface.New(cal.Machine, "local load bandwidth", strides, wss)
+	s.CalHash = cal.Hash()
+	for wi, ws := range wss {
+		for si, st := range strides {
+			s.Set(wi, si, m.LoadBW(ws, st))
+			s.SetSource(wi, si, surface.Analytic)
+		}
+	}
+	return s
+}
+
+// TransferSurface computes the full analytic remote-transfer surface
+// matching bench.TransferSurface's grid and title.
+func TransferSurface(cal machine.Calibration, mode machine.Mode, strides []int, wss []units.Bytes) (*surface.Surface, error) {
+	m := New(cal)
+	s := surface.New(cal.Machine, "remote transfer bandwidth, "+mode.String(), strides, wss)
+	s.CalHash = cal.Hash()
+	for wi, ws := range wss {
+		for si, st := range strides {
+			bw, err := m.TransferBW(mode, ws, st)
+			if err != nil {
+				return nil, err
+			}
+			s.Set(wi, si, bw)
+			s.SetSource(wi, si, surface.Analytic)
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,175 @@
+package analytic_test
+
+// The validation harness: every machine's load and transfer surfaces
+// are swept twice — simulated and closed-form — and the per-regime
+// mean divergence must stay inside the model's error budget. The
+// default run uses a reduced stride set to keep tier-1 fast;
+// ANALYTIC_FULL=1 sweeps the full paper grid. The DEC 8400 fetch
+// report doubles as a golden fixture (UPDATE_GOLDEN=1 regenerates).
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/analytic"
+	"repro/internal/bench"
+	"repro/internal/machine"
+	"repro/internal/surface"
+	"repro/internal/sweep"
+	"repro/internal/units"
+)
+
+// Tolerance is the model's contract: per-regime mean absolute
+// divergence against the simulator stays within 15%.
+const tolerance = 0.15
+
+// reducedStrides keeps the default validation sweep fast while still
+// crossing every regime of the stride axis: contiguous, sub-line,
+// line-multiple, prime, and page-scale walks.
+var reducedStrides = []int{1, 2, 8, 31, 64, 127}
+
+func validationStrides() []int {
+	if os.Getenv("ANALYTIC_FULL") != "" {
+		return surface.PaperStrides
+	}
+	return reducedStrides
+}
+
+func machines() map[string]func() machine.Machine {
+	return map[string]func() machine.Machine{
+		"8400": func() machine.Machine { return machine.NewDEC8400(4) },
+		"t3d":  func() machine.Machine { return machine.NewT3D(4) },
+		"t3e":  func() machine.Machine { return machine.NewT3E(4) },
+	}
+}
+
+func transferModes(m machine.Machine) []machine.Mode {
+	if _, ok := m.(*machine.SMP); ok {
+		return []machine.Mode{machine.Fetch}
+	}
+	return []machine.Mode{machine.Fetch, machine.Deposit}
+}
+
+func TestLoadDivergenceWithinBudget(t *testing.T) {
+	strides := validationStrides()
+	wss := surface.WorkingSets(units.KB/2, 8*units.MB)
+	for name, factory := range machines() {
+		name, factory := name, factory
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			p := sweep.NewPool(factory, 2)
+			cal := p.Machine().Calibration()
+			sim := bench.LoadSurface(p, 0, strides, wss)
+			mod := analytic.LoadSurface(cal, strides, wss)
+			m := analytic.New(cal)
+			r, err := analytic.Compare(sim, mod, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Log("\n" + r.Render(m))
+			if err := r.Check(tolerance); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestTransferDivergenceWithinBudget(t *testing.T) {
+	strides := validationStrides()
+	wss := surface.WorkingSets(units.KB/2, 8*units.MB)
+	for name, factory := range machines() {
+		name, factory := name, factory
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			p := sweep.NewPool(factory, 2)
+			cal := p.Machine().Calibration()
+			m := analytic.New(cal)
+			for _, mode := range transferModes(p.Machine()) {
+				sim, err := bench.TransferSurface(p, 0, machine.PreferredPartner(p.Machine()),
+					mode, strides, wss)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mod, err := analytic.TransferSurface(cal, mode, strides, wss)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r, err := analytic.Compare(sim, mod, m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Log("\n" + r.Render(m))
+				if err := r.Check(tolerance); err != nil {
+					t.Errorf("%s: %v", mode, err)
+				}
+			}
+		})
+	}
+}
+
+// TestDivergenceReportGolden pins the DEC 8400 fetch divergence report
+// — the hardest surface in the budget — as a regression fixture. Any
+// model or simulator change that moves a regime's divergence shows up
+// as a fixture diff, reviewed like a test change.
+func TestDivergenceReportGolden(t *testing.T) {
+	factory := func() machine.Machine { return machine.NewDEC8400(4) }
+	p := sweep.NewPool(factory, 2)
+	cal := p.Machine().Calibration()
+	strides := reducedStrides
+	wss := surface.WorkingSets(units.KB/2, 8*units.MB)
+	sim, err := bench.TransferSurface(p, 0, machine.PreferredPartner(p.Machine()),
+		machine.Fetch, strides, wss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := analytic.TransferSurface(cal, machine.Fetch, strides, wss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := analytic.New(cal)
+	r, err := analytic.Compare(sim, mod, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := r.Render(m)
+	golden := filepath.Join("testdata", "divergence_8400_fetch.txt")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (UPDATE_GOLDEN=1 regenerates): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("divergence report drifted from %s:\n--- got ---\n%s--- want ---\n%s",
+			golden, got, want)
+	}
+}
+
+// TestAnalyticSpeed is the fast path's reason to exist: the full
+// three-machine load surface grid in closed form must finish in under
+// 10ms — the simulator takes seconds for the same grid.
+func TestAnalyticSpeed(t *testing.T) {
+	cals := make([]machine.Calibration, 0, 3)
+	for _, factory := range machines() {
+		cals = append(cals, factory().Calibration())
+	}
+	strides := surface.PaperStrides
+	wss := surface.WorkingSets(units.KB/2, 8*units.MB)
+	start := time.Now()
+	cells := 0
+	for _, cal := range cals {
+		s := analytic.LoadSurface(cal, strides, wss)
+		cells += len(s.WorkingSets) * len(s.Strides)
+	}
+	elapsed := time.Since(start)
+	if elapsed > 10*time.Millisecond {
+		t.Errorf("three-machine analytic load grid (%d cells) took %v, want <10ms", cells, elapsed)
+	}
+	t.Logf("%d cells in %v (%.0f points/sec)", cells, elapsed,
+		float64(cells)/elapsed.Seconds())
+}

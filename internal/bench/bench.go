@@ -102,6 +102,7 @@ func Transfer(m machine.Machine, src, dst int, cp access.CopyPattern, opt machin
 // the surface is byte-identical whatever the pool width.
 func LoadSurface(p *sweep.Pool, idx int, strides []int, wss []units.Bytes) *surface.Surface {
 	s := surface.New(p.Machine().Name(), "local load bandwidth", strides, wss)
+	s.CalHash = p.Machine().Calibration().Hash()
 	base := machine.LocalBase(idx)
 	// The load kernel cannot fail; Run's error is always nil here.
 	_ = p.Run(len(wss)*len(strides), func(m machine.Machine, i int) error {
@@ -119,6 +120,7 @@ func LoadSurface(p *sweep.Pool, idx int, strides []int, wss []units.Bytes) *surf
 func TransferSurface(p *sweep.Pool, src, dst int, mode machine.Mode, strides []int, wss []units.Bytes) (*surface.Surface, error) {
 	title := "remote transfer bandwidth, " + mode.String()
 	s := surface.New(p.Machine().Name(), title, strides, wss)
+	s.CalHash = p.Machine().Calibration().Hash()
 	err := p.Run(len(wss)*len(strides), func(m machine.Machine, i int) error {
 		wi, si := i/len(strides), i%len(strides)
 		cp := access.CopyPattern{

@@ -1,0 +1,95 @@
+package bench
+
+// Model-guided adaptive sweeps: the analytic fast path fills the grid
+// cells its closed form predicts confidently, and only the cells the
+// pruner flags as uncertain — regime transitions, marginal absorbers,
+// bank-ripple and landing-alias bands — are simulated. The simulated
+// cells run under sweep.Pool's determinism contract, so they are
+// byte-identical to a full sweep's; every cell carries a provenance
+// tag and the surface records the calibration hash the analytic fill
+// came from.
+
+import (
+	"repro/internal/access"
+	"repro/internal/analytic"
+	"repro/internal/machine"
+	"repro/internal/surface"
+	"repro/internal/sweep"
+	"repro/internal/units"
+)
+
+// LoadSurfacePruned is LoadSurface with the analytic fast path
+// filling the confident cells. Returns the surface and how many cells
+// were simulated.
+func LoadSurfacePruned(p *sweep.Pool, idx int, strides []int, wss []units.Bytes) (*surface.Surface, int) {
+	cal := p.Machine().Calibration()
+	pr := analytic.NewPruner(cal)
+	s := surface.New(p.Machine().Name(), "local load bandwidth", strides, wss)
+	s.CalHash = cal.Hash()
+	base := machine.LocalBase(idx)
+	// The load kernel cannot fail; RunPruned's error is always nil here.
+	simulated, _ := p.RunPruned(len(wss)*len(strides), func(i int) bool {
+		wi, si := i/len(strides), i%len(strides)
+		if pr.UncertainLoad(wss[wi], strides[si]) {
+			return false
+		}
+		s.Set(wi, si, pr.Model().LoadBW(wss[wi], strides[si]))
+		s.SetSource(wi, si, surface.Analytic)
+		return true
+	}, func(m machine.Machine, i int) error {
+		wi, si := i/len(strides), i%len(strides)
+		bw := LoadSum(m, idx, access.Pattern{Base: base, WorkingSet: wss[wi], Stride: strides[si]})
+		s.Set(wi, si, bw)
+		s.SetSource(wi, si, surface.Simulated)
+		return nil
+	})
+	return s, simulated
+}
+
+// TransferSurfacePruned is TransferSurface with the analytic fast
+// path filling the confident cells. Returns the surface and how many
+// cells were simulated.
+func TransferSurfacePruned(p *sweep.Pool, src, dst int, mode machine.Mode, strides []int, wss []units.Bytes) (*surface.Surface, int, error) {
+	cal := p.Machine().Calibration()
+	pr := analytic.NewPruner(cal)
+	title := "remote transfer bandwidth, " + mode.String()
+	s := surface.New(p.Machine().Name(), title, strides, wss)
+	s.CalHash = cal.Hash()
+	simulated, err := p.RunPruned(len(wss)*len(strides), func(i int) bool {
+		wi, si := i/len(strides), i%len(strides)
+		if pr.UncertainTransfer(mode, wss[wi], strides[si]) {
+			return false
+		}
+		bw, err := pr.Model().TransferBW(mode, wss[wi], strides[si])
+		if err != nil {
+			// A mode the closed form cannot express falls back to the
+			// simulator cell by cell.
+			return false
+		}
+		s.Set(wi, si, bw)
+		s.SetSource(wi, si, surface.Analytic)
+		return true
+	}, func(m machine.Machine, i int) error {
+		wi, si := i/len(strides), i%len(strides)
+		cp := access.CopyPattern{
+			SrcBase: machine.LocalBase(src), DstBase: machine.LocalBase(dst),
+			WorkingSet: wss[wi], LoadStride: 1, StoreStride: 1,
+		}
+		if mode == machine.Deposit {
+			cp.StoreStride = strides[si]
+		} else {
+			cp.LoadStride = strides[si]
+		}
+		bw, err := Transfer(m, src, dst, cp, machine.Options{Mode: mode})
+		if err != nil {
+			return err
+		}
+		s.Set(wi, si, bw)
+		s.SetSource(wi, si, surface.Simulated)
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return s, simulated, nil
+}

@@ -1,0 +1,137 @@
+package bench_test
+
+// Model-guided adaptive sweep contracts: the cells a pruned sweep
+// does simulate are byte-identical to the full sweep's, every cell
+// carries a provenance tag, and across the full figure grid the
+// pruner keeps the simulated fraction at or below 40%.
+
+import (
+	"testing"
+
+	"repro/internal/analytic"
+	"repro/internal/bench"
+	"repro/internal/machine"
+	"repro/internal/surface"
+	"repro/internal/sweep"
+	"repro/internal/units"
+)
+
+func figureMachines() map[string]func() machine.Machine {
+	return map[string]func() machine.Machine{
+		"8400": func() machine.Machine { return machine.NewDEC8400(4) },
+		"t3d":  func() machine.Machine { return machine.NewT3D(4) },
+		"t3e":  func() machine.Machine { return machine.NewT3E(4) },
+	}
+}
+
+// TestPrunedLoadByteIdentical runs the same load grid full and pruned
+// and requires bitwise equality on every simulated-tagged cell.
+func TestPrunedLoadByteIdentical(t *testing.T) {
+	factory := func() machine.Machine { return machine.NewDEC8400(4) }
+	strides := []int{1, 2, 8, 31, 64, 127}
+	wss := surface.WorkingSets(units.KB/2, 512*units.KB)
+
+	full := bench.LoadSurface(sweep.NewPool(factory, 2), 0, strides, wss)
+	pruned, simulated := bench.LoadSurfacePruned(sweep.NewPool(factory, 2), 0, strides, wss)
+
+	if simulated == 0 || simulated == len(strides)*len(wss) {
+		t.Fatalf("pruned sweep simulated %d of %d cells; want a proper subset",
+			simulated, len(strides)*len(wss))
+	}
+	if pruned.CalHash != full.CalHash || pruned.CalHash == 0 {
+		t.Errorf("calibration hash: pruned %#x, full %#x; want equal and nonzero",
+			pruned.CalHash, full.CalHash)
+	}
+	checkSimulatedCellsEqual(t, full, pruned)
+}
+
+// TestPrunedTransferByteIdentical does the same for a transfer grid
+// on a torus machine.
+func TestPrunedTransferByteIdentical(t *testing.T) {
+	factory := func() machine.Machine { return machine.NewT3E(4) }
+	strides := []int{1, 2, 8, 16, 31, 127}
+	wss := surface.WorkingSets(units.KB/2, 512*units.KB)
+	partner := machine.PreferredPartner(machine.NewT3E(4))
+
+	full, err := bench.TransferSurface(sweep.NewPool(factory, 2), 0, partner,
+		machine.Deposit, strides, wss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, simulated, err := bench.TransferSurfacePruned(sweep.NewPool(factory, 2), 0, partner,
+		machine.Deposit, strides, wss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simulated == 0 || simulated == len(strides)*len(wss) {
+		t.Fatalf("pruned sweep simulated %d of %d cells; want a proper subset",
+			simulated, len(strides)*len(wss))
+	}
+	checkSimulatedCellsEqual(t, full, pruned)
+}
+
+func checkSimulatedCellsEqual(t *testing.T, full, pruned *surface.Surface) {
+	t.Helper()
+	for wi := range pruned.WorkingSets {
+		for si := range pruned.Strides {
+			switch pruned.SourceAt(wi, si) {
+			case surface.Simulated:
+				if pruned.BW[wi][si] != full.BW[wi][si] {
+					t.Errorf("simulated cell ws=%s stride=%d: pruned %v != full %v",
+						pruned.WorkingSets[wi], pruned.Strides[si],
+						pruned.BW[wi][si], full.BW[wi][si])
+				}
+			case surface.Analytic:
+				if pruned.BW[wi][si] == 0 {
+					t.Errorf("analytic cell ws=%s stride=%d left empty",
+						pruned.WorkingSets[wi], pruned.Strides[si])
+				}
+			}
+		}
+	}
+}
+
+// TestPrunedFractionBudget walks the full figure grid — every
+// machine, loads plus transfers — through the pruner alone and checks
+// the `figures -fast` promise: at most 40% of cells simulated.
+func TestPrunedFractionBudget(t *testing.T) {
+	strides := surface.PaperStrides
+	wss := surface.WorkingSets(units.KB/2, 8*units.MB)
+	var simulated, total int
+	for name, factory := range figureMachines() {
+		m := factory()
+		pr := analytic.NewPruner(m.Calibration())
+		machSim, machTotal := 0, 0
+		for _, ws := range wss {
+			for _, st := range strides {
+				machTotal++
+				if pr.UncertainLoad(ws, st) {
+					machSim++
+				}
+			}
+		}
+		modes := []machine.Mode{machine.Fetch, machine.Deposit}
+		if _, ok := m.(*machine.SMP); ok {
+			modes = []machine.Mode{machine.Fetch}
+		}
+		for _, mode := range modes {
+			for _, ws := range wss {
+				for _, st := range strides {
+					machTotal++
+					if pr.UncertainTransfer(mode, ws, st) {
+						machSim++
+					}
+				}
+			}
+		}
+		t.Logf("%s: %d of %d cells simulated (%.0f%%)",
+			name, machSim, machTotal, 100*float64(machSim)/float64(machTotal))
+		simulated += machSim
+		total += machTotal
+	}
+	frac := float64(simulated) / float64(total)
+	t.Logf("aggregate: %d of %d cells simulated (%.0f%%)", simulated, total, frac*100)
+	if frac > 0.40 {
+		t.Errorf("pruner keeps %.0f%% of the figure grid simulated, want <=40%%", frac*100)
+	}
+}

@@ -1,0 +1,129 @@
+package machine
+
+import "testing"
+
+// The exported Calibration view must be complete: every machine
+// reports positive parameters for every section that applies to it,
+// and the hash separates the machines from each other.
+
+func checkCPU(t *testing.T, name string, c CPUCal) {
+	t.Helper()
+	if c.ClockMHz <= 0 || c.LoadSlot <= 0 || c.StoreSlot <= 0 ||
+		c.CopySlot <= 0 || c.SegmentOverhead <= 0 || c.HideDepth <= 0 {
+		t.Errorf("%s: incomplete CPU calibration: %+v", name, c)
+	}
+}
+
+func checkLevels(t *testing.T, name string, levels []CacheCal) {
+	t.Helper()
+	if len(levels) == 0 {
+		t.Fatalf("%s: no cache levels", name)
+	}
+	for i, l := range levels {
+		if l.Name == "" || l.Size <= 0 || l.LineBytes <= 0 || l.Assoc <= 0 {
+			t.Errorf("%s: level %d incomplete geometry: %+v", name, i, l)
+		}
+		// L1 is served by the issue model, not a fill occupancy; every
+		// deeper level must carry fill timing.
+		if i > 0 && (l.FillOcc <= 0 || l.WordOcc <= 0 || l.WriteOcc <= 0) {
+			t.Errorf("%s: level %d (%s) missing fill occupancies: %+v", name, i, l.Name, l)
+		}
+	}
+}
+
+func checkDRAM(t *testing.T, name string, d DRAMCal) {
+	t.Helper()
+	if d.LineBytes <= 0 || d.SeqOcc <= 0 || d.SeqOccNoStream <= 0 ||
+		d.WordOcc <= 0 || d.WriteSeqOcc <= 0 || d.WriteWordOcc <= 0 ||
+		d.EngineWordOcc <= 0 {
+		t.Errorf("%s: incomplete DRAM channel timing: %+v", name, d)
+	}
+	if d.Banks > 0 && (d.InterleaveBytes <= 0 || d.RowBytes <= 0 || d.BankOcc <= 0 || d.RowPenalty <= 0) {
+		t.Errorf("%s: banked DRAM missing bank/page timing: %+v", name, d)
+	}
+}
+
+func TestCalibrationComplete(t *testing.T) {
+	machines := []Machine{NewDEC8400(4), NewT3D(8), NewT3E(8)}
+	for _, m := range machines {
+		cal := m.Calibration()
+		if cal.Machine != m.Name() {
+			t.Errorf("%s: calibration names %q", m.Name(), cal.Machine)
+		}
+		if cal.NumNodes != m.NumNodes() {
+			t.Errorf("%s: calibration reports %d nodes, machine has %d",
+				m.Name(), cal.NumNodes, m.NumNodes())
+		}
+		checkCPU(t, m.Name(), cal.CPU)
+		checkLevels(t, m.Name(), cal.Levels)
+		checkDRAM(t, m.Name(), cal.DRAM)
+		if cal.WB.Entries <= 0 || cal.WB.EntryBytes <= 0 || cal.WB.SlackEntries <= 0 {
+			t.Errorf("%s: incomplete write buffer: %+v", m.Name(), cal.WB)
+		}
+		switch cal.Kind {
+		case "smp":
+			if !cal.HasBus || cal.HasTorus {
+				t.Errorf("%s: smp calibration flags wrong: %+v", m.Name(), cal)
+			}
+			if cal.Bus.Arb <= 0 || cal.Bus.Snoop <= 0 || cal.Bus.LineOcc <= 0 ||
+				cal.Bus.WordOcc <= 0 || cal.Bus.C2COcc <= 0 {
+				t.Errorf("%s: incomplete bus: %+v", m.Name(), cal.Bus)
+			}
+			checkDRAM(t, m.Name()+" shared mem", cal.Mem)
+			if cal.ConsumeBufBytes <= 0 {
+				t.Errorf("%s: no landing-buffer size", m.Name())
+			}
+		case "mpp":
+			if cal.HasBus || !cal.HasTorus {
+				t.Errorf("%s: mpp calibration flags wrong: %+v", m.Name(), cal)
+			}
+			l := cal.Link
+			if l.NIOverhead <= 0 || l.NIPerByte <= 0 || l.LinkPerByte <= 0 ||
+				l.HopLatency <= 0 || l.RecvFactor <= 0 {
+				t.Errorf("%s: incomplete link: %+v", m.Name(), l)
+			}
+			if cal.DepositHeaderBytes <= 0 {
+				t.Errorf("%s: no deposit header size", m.Name())
+			}
+		default:
+			t.Errorf("%s: unknown calibration kind %q", m.Name(), cal.Kind)
+		}
+	}
+
+	// The T3D's fetch engine and the T3E's E-registers are mutually
+	// exclusive remote engines.
+	t3d, t3e := machines[1].Calibration(), machines[2].Calibration()
+	if t3d.FIFO.Depth <= 0 || t3d.FIFO.RequestBytes <= 0 ||
+		t3d.FIFO.ResponseBytes <= 0 || t3d.FIFO.IssueSlot <= 0 {
+		t.Errorf("T3D: incomplete FIFO: %+v", t3d.FIFO)
+	}
+	if t3e.EReg.Registers <= 0 || t3e.EReg.BlockBytes <= 0 || t3e.EReg.IssueSlot <= 0 {
+		t.Errorf("T3E: incomplete EReg: %+v", t3e.EReg)
+	}
+	if t3d.EReg.Registers != 0 || t3e.FIFO.Depth != 0 {
+		t.Errorf("remote engines leaked across machines: t3d.EReg=%+v t3e.FIFO=%+v",
+			t3d.EReg, t3e.FIFO)
+	}
+}
+
+func TestCalibrationHashSeparates(t *testing.T) {
+	seen := map[uint64]string{}
+	for _, m := range []Machine{NewDEC8400(4), NewT3D(8), NewT3E(8), NewT3ENoStreams(8)} {
+		h := m.Calibration().Hash()
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("calibration hash collision: %s and %s both 0x%x", prev, m.Name(), h)
+		}
+		seen[h] = m.Name()
+	}
+	// The hash must be stable across constructions of the same machine.
+	if NewT3E(8).Calibration().Hash() != NewT3E(8).Calibration().Hash() {
+		t.Fatal("calibration hash not stable across constructions")
+	}
+	// And sensitive to a single constant.
+	c := NewT3E(8).Calibration()
+	base := c.Hash()
+	c.DRAM.SeqOcc++
+	if c.Hash() == base {
+		t.Fatal("calibration hash ignores DRAM.SeqOcc")
+	}
+}

@@ -1,0 +1,336 @@
+package machine
+
+import (
+	"math"
+
+	"repro/internal/bus"
+	"repro/internal/cache"
+	"repro/internal/node"
+	"repro/internal/remote"
+	"repro/internal/torus"
+	"repro/internal/units"
+)
+
+// Calibration is the typed, exported view of every constant a machine
+// model is calibrated with: cache geometry and fill occupancies, DRAM
+// bank/page timing, bus or torus link rates, and the remote-engine
+// parameters. It is what the analytic fast path (internal/analytic)
+// consumes to predict plateau bandwidths in closed form, and its Hash
+// is stamped into surface snapshots so a cached grid can be matched
+// to the calibration that produced it.
+//
+// Sections that do not apply to a machine are left zero: the DEC 8400
+// has Bus/Mem but no Link/FIFO/EReg; the Crays have Link (and the T3D
+// a FIFO, the T3E an EReg) but no Bus.
+type Calibration struct {
+	// Machine is the display name; Kind is "smp" (bus-based shared
+	// memory) or "mpp" (torus distributed memory).
+	Machine  string
+	Kind     string
+	NumNodes int
+
+	CPU    CPUCal
+	Levels []CacheCal
+	DRAM   DRAMCal
+	WB     WBCal
+
+	// HasBus marks the SMP section valid: Bus is the snooping
+	// system bus, Mem the shared memory behind it, and
+	// ConsumeBufBytes the consumer-side landing buffer of the pull
+	// transfer model.
+	HasBus          bool
+	Bus             BusCal
+	Mem             DRAMCal
+	ConsumeBufBytes units.Bytes
+
+	// HasTorus marks the MPP section valid.
+	HasTorus           bool
+	Link               LinkCal
+	FIFO               FIFOCal
+	EReg               ERegCal
+	DepositHeaderBytes units.Bytes
+}
+
+// CPUCal is the compiled-loop issue model of the node processor.
+type CPUCal struct {
+	ClockMHz        float64
+	LoadSlot        units.Time
+	StoreSlot       units.Time
+	CopySlot        units.Time
+	SegmentOverhead units.Time
+	HideDepth       float64
+}
+
+// CacheCal is one cache level's geometry and fill timing.
+type CacheCal struct {
+	Name      string
+	Size      units.Bytes
+	LineBytes units.Bytes
+	Assoc     int
+	// WriteBack is false for write-through levels (the on-chip L1s).
+	WriteBack bool
+	// FillOcc / WordOcc / WriteOcc are the occupancies of this level
+	// *serving* the level above: sequential line fills, isolated
+	// fills, and absorbed victim write-backs.
+	FillOcc  units.Time
+	WordOcc  units.Time
+	WriteOcc units.Time
+}
+
+// DRAMCal is a memory system's bank geometry and channel timing.
+type DRAMCal struct {
+	Banks           int
+	InterleaveBytes units.Bytes
+	RowBytes        units.Bytes
+	LineBytes       units.Bytes
+	SeqOcc          units.Time
+	SeqOccNoStream  units.Time
+	WordOcc         units.Time
+	WriteSeqOcc     units.Time
+	WriteWordOcc    units.Time
+	EngineWordOcc   units.Time
+	BankOcc         units.Time
+	RowPenalty      units.Time
+	SplitRW         bool
+	StreamsEnabled  bool
+	Streams         int
+	WriteInterrupts bool
+}
+
+// WBCal is the store retire path.
+type WBCal struct {
+	Entries      int
+	EntryBytes   units.Bytes
+	SlackEntries float64
+	WriteCombine bool
+}
+
+// BusCal is the SMP system bus.
+type BusCal struct {
+	Arb     units.Time
+	Snoop   units.Time
+	LineOcc units.Time
+	WordOcc units.Time
+	C2COcc  units.Time
+}
+
+// LinkCal is the torus interconnect.
+type LinkCal struct {
+	NIOverhead  units.Time
+	NIPerByte   units.Time
+	LinkPerByte units.Time
+	HopLatency  units.Time
+	RecvFactor  float64
+	SharedNI    bool
+}
+
+// FIFOCal is the T3D's external prefetch queue.
+type FIFOCal struct {
+	Depth         int
+	RequestBytes  units.Bytes
+	ResponseBytes units.Bytes
+	IssueSlot     units.Time
+}
+
+// ERegCal is the T3E's E-register engine.
+type ERegCal struct {
+	Registers  int
+	BlockBytes units.Bytes
+	IssueSlot  units.Time
+}
+
+// nodeCal extracts the per-node sections from a node configuration.
+func nodeCal(cfg node.Config) (CPUCal, []CacheCal, DRAMCal, WBCal) {
+	c := CPUCal{
+		ClockMHz:        cfg.CPU.Clock.MHz,
+		LoadSlot:        cfg.CPU.LoadSlot(),
+		StoreSlot:       cfg.CPU.StoreSlot(),
+		CopySlot:        cfg.CPU.CopySlot(),
+		SegmentOverhead: cfg.CPU.SegmentOverhead(),
+		HideDepth:       cfg.CPU.HideDepth,
+	}
+	levels := make([]CacheCal, 0, len(cfg.Levels))
+	for _, l := range cfg.Levels {
+		levels = append(levels, CacheCal{
+			Name:      l.Cache.Name,
+			Size:      l.Cache.Size,
+			LineBytes: l.Cache.LineSize,
+			Assoc:     l.Cache.Assoc,
+			WriteBack: l.Cache.Write == cache.WriteBack,
+			FillOcc:   l.FillOcc,
+			WordOcc:   l.WordOcc,
+			WriteOcc:  l.WriteOcc,
+		})
+	}
+	return c, levels, dramCal(cfg.DRAM), WBCal{
+		Entries:      cfg.WB.Entries,
+		EntryBytes:   cfg.WB.EntryBytes,
+		SlackEntries: cfg.WB.SlackEntries,
+		WriteCombine: cfg.WB.WriteCombine,
+	}
+}
+
+// dramCal extracts a DRAM section from a node DRAM spec.
+func dramCal(d node.DRAMSpec) DRAMCal {
+	engine := d.EngineWordOcc
+	if engine == 0 {
+		engine = d.WordOcc
+	}
+	return DRAMCal{
+		Banks:           d.Banks,
+		InterleaveBytes: d.InterleaveBytes,
+		RowBytes:        d.RowBytes,
+		LineBytes:       d.LineBytes,
+		SeqOcc:          d.SeqOcc,
+		SeqOccNoStream:  d.SeqOccNoStream,
+		WordOcc:         d.WordOcc,
+		WriteSeqOcc:     d.WriteSeqOcc,
+		WriteWordOcc:    d.WriteWordOcc,
+		EngineWordOcc:   engine,
+		BankOcc:         d.BankOcc,
+		RowPenalty:      d.RowPenalty,
+		SplitRW:         d.SplitRW,
+		StreamsEnabled:  d.Stream.Enabled,
+		Streams:         d.Stream.Streams,
+		WriteInterrupts: d.Stream.WriteInterrupts,
+	}
+}
+
+// busCal extracts the bus section.
+func busCal(b bus.Config) BusCal {
+	return BusCal{Arb: b.Arb, Snoop: b.Snoop, LineOcc: b.LineOcc,
+		WordOcc: b.WordOcc, C2COcc: b.C2COcc}
+}
+
+// linkCal extracts the torus section.
+func linkCal(t torus.Config) LinkCal {
+	return LinkCal{NIOverhead: t.NIOverhead, NIPerByte: t.NIPerByte,
+		LinkPerByte: t.LinkPerByte, HopLatency: t.HopLatency,
+		RecvFactor: t.RecvFactor, SharedNI: t.SharedNI}
+}
+
+// fifoCal extracts the prefetch-queue section.
+func fifoCal(f remote.FIFOConfig) FIFOCal {
+	return FIFOCal{Depth: f.Depth, RequestBytes: f.RequestBytes,
+		ResponseBytes: f.ResponseBytes, IssueSlot: f.IssueSlot}
+}
+
+// eregCal extracts the E-register section.
+func eregCal(e remote.ERegConfig) ERegCal {
+	return ERegCal{Registers: e.Registers, BlockBytes: e.BlockBytes,
+		IssueSlot: e.IssueSlot}
+}
+
+// Hash digests every calibration constant with FNV-1a in a fixed
+// field order, so equal calibrations — and only equal calibrations —
+// produce equal hashes across runs and platforms. The hash is stored
+// in the calibration-hash slot of surface snapshots.
+func (c Calibration) Hash() uint64 {
+	h := newCalHash()
+	h.str(c.Machine)
+	h.str(c.Kind)
+	h.int(int64(c.NumNodes))
+	h.cpu(c.CPU)
+	h.int(int64(len(c.Levels)))
+	for _, l := range c.Levels {
+		h.str(l.Name)
+		h.int(int64(l.Size))
+		h.int(int64(l.LineBytes))
+		h.int(int64(l.Assoc))
+		h.bool(l.WriteBack)
+		h.time(l.FillOcc)
+		h.time(l.WordOcc)
+		h.time(l.WriteOcc)
+	}
+	h.dram(c.DRAM)
+	h.int(int64(c.WB.Entries))
+	h.int(int64(c.WB.EntryBytes))
+	h.f64(c.WB.SlackEntries)
+	h.bool(c.WB.WriteCombine)
+	h.bool(c.HasBus)
+	h.time(c.Bus.Arb)
+	h.time(c.Bus.Snoop)
+	h.time(c.Bus.LineOcc)
+	h.time(c.Bus.WordOcc)
+	h.time(c.Bus.C2COcc)
+	h.dram(c.Mem)
+	h.int(int64(c.ConsumeBufBytes))
+	h.bool(c.HasTorus)
+	h.time(c.Link.NIOverhead)
+	h.time(c.Link.NIPerByte)
+	h.time(c.Link.LinkPerByte)
+	h.time(c.Link.HopLatency)
+	h.f64(c.Link.RecvFactor)
+	h.bool(c.Link.SharedNI)
+	h.int(int64(c.FIFO.Depth))
+	h.int(int64(c.FIFO.RequestBytes))
+	h.int(int64(c.FIFO.ResponseBytes))
+	h.time(c.FIFO.IssueSlot)
+	h.int(int64(c.EReg.Registers))
+	h.int(int64(c.EReg.BlockBytes))
+	h.time(c.EReg.IssueSlot)
+	h.int(int64(c.DepositHeaderBytes))
+	return h.sum
+}
+
+// calHash is a tiny FNV-1a accumulator over typed fields.
+type calHash struct{ sum uint64 }
+
+func newCalHash() *calHash { return &calHash{sum: 14695981039346656037} }
+
+func (h *calHash) byte(b byte) {
+	h.sum ^= uint64(b)
+	h.sum *= 1099511628211
+}
+
+func (h *calHash) u64(v uint64) {
+	for i := 0; i < 8; i++ {
+		h.byte(byte(v >> (8 * i)))
+	}
+}
+
+func (h *calHash) int(v int64)       { h.u64(uint64(v)) }
+func (h *calHash) f64(v float64)     { h.u64(math.Float64bits(v)) }
+func (h *calHash) time(v units.Time) { h.f64(float64(v)) }
+func (h *calHash) bool(v bool) {
+	if v {
+		h.byte(1)
+	} else {
+		h.byte(0)
+	}
+}
+
+func (h *calHash) str(s string) {
+	h.int(int64(len(s)))
+	for i := 0; i < len(s); i++ {
+		h.byte(s[i])
+	}
+}
+
+func (h *calHash) cpu(c CPUCal) {
+	h.f64(c.ClockMHz)
+	h.time(c.LoadSlot)
+	h.time(c.StoreSlot)
+	h.time(c.CopySlot)
+	h.time(c.SegmentOverhead)
+	h.f64(c.HideDepth)
+}
+
+func (h *calHash) dram(d DRAMCal) {
+	h.int(int64(d.Banks))
+	h.int(int64(d.InterleaveBytes))
+	h.int(int64(d.RowBytes))
+	h.int(int64(d.LineBytes))
+	h.time(d.SeqOcc)
+	h.time(d.SeqOccNoStream)
+	h.time(d.WordOcc)
+	h.time(d.WriteSeqOcc)
+	h.time(d.WriteWordOcc)
+	h.time(d.EngineWordOcc)
+	h.time(d.BankOcc)
+	h.time(d.RowPenalty)
+	h.bool(d.SplitRW)
+	h.bool(d.StreamsEnabled)
+	h.int(int64(d.Streams))
+	h.bool(d.WriteInterrupts)
+}

@@ -19,6 +19,7 @@ type SMP struct {
 	nodes []*node.Node
 	coh   *coherence.Controller
 	probe *probe.Probe
+	cal   Calibration
 }
 
 // NewDEC8400 builds an n-processor DEC 8400 (the paper used n=4; the
@@ -31,34 +32,35 @@ func NewDEC8400(n int) *SMP {
 	// The shared DRAM: four memory modules, two-way interleaved each
 	// (§3.1: "with four memory modules, a maximal interleaving of 8
 	// is possible"). Modelled as a cache-less timing node.
+	memSpec := node.DRAMSpec{
+		Banks:           8,
+		InterleaveBytes: 64,
+		RowBytes:        2 * units.KB,
+		LineBytes:       64,
+		// The shared, 8-way interleaved memory has roughly four
+		// single-processor streams of aggregate capacity (the
+		// per-processor plateaus of Figure 1 are bound by the
+		// board interface in the node config, not here): §5.1
+		// measures only 8%/25% degradation with four
+		// processors hammering DRAM.
+		SeqOcc:         112,
+		SeqOccNoStream: 112,
+		WordOcc:        95,
+		WriteSeqOcc:    107,
+		WriteWordOcc:   30,
+		// Bank occupancy sized so that four interleaved strided
+		// miss streams saturate gently (§5.1's ~25%).
+		BankOcc:    60,
+		RowPenalty: 20,
+		Stream:     stream.Config{Enabled: true, Streams: 8, Threshold: 2, LineBytes: 64},
+	}
 	mem := node.New(-1, node.Config{
 		Probe: p.Scope("mem").WithTid(tidMem),
 		CPU:   cpu.Config{Clock: units.Clock{MHz: 75}}, // bus clock domain
-		DRAM: node.DRAMSpec{
-			Banks:           8,
-			InterleaveBytes: 64,
-			RowBytes:        2 * units.KB,
-			LineBytes:       64,
-			// The shared, 8-way interleaved memory has roughly four
-			// single-processor streams of aggregate capacity (the
-			// per-processor plateaus of Figure 1 are bound by the
-			// board interface in the node config, not here): §5.1
-			// measures only 8%/25% degradation with four
-			// processors hammering DRAM.
-			SeqOcc:         112,
-			SeqOccNoStream: 112,
-			WordOcc:        95,
-			WriteSeqOcc:    107,
-			WriteWordOcc:   30,
-			// Bank occupancy sized so that four interleaved strided
-			// miss streams saturate gently (§5.1's ~25%).
-			BankOcc:    60,
-			RowPenalty: 20,
-			Stream:     stream.Config{Enabled: true, Streams: 8, Threshold: 2, LineBytes: 64},
-		},
+		DRAM:  memSpec,
 	})
 
-	b := bus.New(bus.Config{
+	busCfg := bus.Config{
 		Name:  "8400 system bus",
 		Probe: p.Scope("bus").WithTid(tidBus),
 		// 256-bit data path at 75 MHz; 1.6 GB/s burst (§3.1): a
@@ -74,7 +76,8 @@ func NewDEC8400(n int) *SMP {
 		// 139 MB/s, the remote pull ceiling of Figure 2 ("down to
 		// 140 MByte/s", §5.2).
 		C2COcc: 440,
-	})
+	}
+	b := bus.New(busCfg)
 	coh := coherence.New(b, mem, p.Scope("coh").WithTid(tidCoh))
 
 	m := &SMP{name: "DEC 8400", coh: coh, probe: p}
@@ -86,8 +89,19 @@ func NewDEC8400(n int) *SMP {
 		m.nodes = append(m.nodes, nd)
 	}
 	coh.Attach(m.nodes)
+
+	cpuC, levels, dr, wb := nodeCal(dec8400Node())
+	m.cal = Calibration{
+		Machine: m.name, Kind: "smp", NumNodes: n,
+		CPU: cpuC, Levels: levels, DRAM: dr, WB: wb,
+		HasBus: true, Bus: busCal(busCfg), Mem: dramCal(memSpec),
+		ConsumeBufBytes: consumeBuf,
+	}
 	return m
 }
+
+// Calibration implements Machine.
+func (m *SMP) Calibration() Calibration { return m.cal }
 
 // dec8400Node configures one 21164 processor board of the 8400.
 func dec8400Node() node.Config {

@@ -104,6 +104,11 @@ type Machine interface {
 	// tracer. Every component's counters are registered here under
 	// hierarchical names ("node0.l2.read_misses", "torus.bytes").
 	Probe() *probe.Probe
+	// Calibration returns the typed view of the constants the
+	// machine was built with (cache geometry and occupancies, DRAM
+	// bank/page timing, bus or link rates, remote-engine
+	// parameters) — the input of the analytic fast path.
+	Calibration() Calibration
 }
 
 // Trace thread ids. Per-node scopes use the node id; shared

@@ -28,7 +28,11 @@ type MPP struct {
 	fifo   remote.FIFOConfig
 	ereg   remote.ERegConfig
 	probe  *probe.Probe
+	cal    Calibration
 }
+
+// Calibration implements Machine.
+func (m *MPP) Calibration() Calibration { return m.cal }
 
 // Name implements Machine.
 func (m *MPP) Name() string { return m.name }

@@ -55,6 +55,15 @@ func NewT3D(n int) *MPP {
 		Probe:         p.Scope("fifo").WithTid(tidCoh),
 	}
 	m.wireRemote(2*units.Word, 2*units.Word)
+
+	cpuC, levels, dr, wb := nodeCal(t3dNode())
+	m.cal = Calibration{
+		Machine: m.name, Kind: "mpp", NumNodes: n,
+		CPU: cpuC, Levels: levels, DRAM: dr, WB: wb,
+		HasTorus: true, Link: linkCal(net.Config()),
+		FIFO:               fifoCal(m.fifo),
+		DepositHeaderBytes: units.Word,
+	}
 	return m
 }
 

@@ -52,6 +52,15 @@ func NewT3E(n int) *MPP {
 		Probe:      p.Scope("ereg").WithTid(tidEng),
 	}
 	m.wireRemote(2*units.Word, 2*units.Word)
+
+	cpuC, levels, dr, wb := nodeCal(t3eNode())
+	m.cal = Calibration{
+		Machine: m.name, Kind: "mpp", NumNodes: n,
+		CPU: cpuC, Levels: levels, DRAM: dr, WB: wb,
+		HasTorus: true, Link: linkCal(net.Config()),
+		EReg:               eregCal(m.ereg),
+		DepositHeaderBytes: units.Word,
+	}
 	return m
 }
 
@@ -72,6 +81,10 @@ func NewT3ENoStreams(n int) *MPP {
 	}
 	m.router.Nodes = m.nodes
 	m.wireRemote(2*units.Word, 2*units.Word)
+	cfg := t3eNode()
+	cfg.DRAM.Stream.Enabled = false
+	m.cal.Machine = m.name
+	m.cal.CPU, m.cal.Levels, m.cal.DRAM, m.cal.WB = nodeCal(cfg)
 	return m
 }
 

@@ -259,12 +259,36 @@ func LoadFigure(p *sweep.Pool, maxWS units.Bytes) *surface.Surface {
 	return bench.LoadSurface(p, 0, surface.PaperStrides, surface.WorkingSets(units.KB/2, maxWS))
 }
 
+// LoadFigurePruned is LoadFigure with the analytic fast path filling
+// the confident cells; returns how many cells were simulated and the
+// grid size alongside the surface.
+func LoadFigurePruned(p *sweep.Pool, maxWS units.Bytes) (*surface.Surface, int, int) {
+	strides := surface.PaperStrides
+	wss := surface.WorkingSets(units.KB/2, maxWS)
+	s, simulated := bench.LoadSurfacePruned(p, 0, strides, wss)
+	return s, simulated, len(strides) * len(wss)
+}
+
 // TransferFigure regenerates one of the remote transfer surfaces
 // (Figures 2, 4, 5, 7, 8).
 func TransferFigure(p *sweep.Pool, mode machine.Mode, maxWS units.Bytes) (*surface.Surface, error) {
 	partner := machine.PreferredPartner(p.Machine())
 	return bench.TransferSurface(p, 0, partner, mode, surface.PaperStrides,
 		surface.WorkingSets(units.KB/2, maxWS))
+}
+
+// TransferFigurePruned is TransferFigure with the analytic fast path
+// filling the confident cells; returns how many cells were simulated
+// and the grid size alongside the surface.
+func TransferFigurePruned(p *sweep.Pool, mode machine.Mode, maxWS units.Bytes) (*surface.Surface, int, int, error) {
+	partner := machine.PreferredPartner(p.Machine())
+	strides := surface.PaperStrides
+	wss := surface.WorkingSets(units.KB/2, maxWS)
+	s, simulated, err := bench.TransferSurfacePruned(p, 0, partner, mode, strides, wss)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return s, simulated, len(strides) * len(wss), nil
 }
 
 // CopyFigure regenerates one of the local copy figures (9-11).

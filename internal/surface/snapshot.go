@@ -18,19 +18,25 @@ import (
 //
 //	magic            4 bytes  "SURF"
 //	version          uint16   snapshotVersion
-//	calibration hash uint64   reserved (zero until the machine
-//	                          calibration tables are hashed into
-//	                          snapshots; readers must ignore it)
+//	calibration hash uint64   CalHash — the machine calibration the
+//	                          grid was computed from (v1 wrote zero)
 //	Machine          uint32 length + bytes
 //	Title            uint32 length + bytes
 //	Strides          uint32 count + int64 each
 //	WorkingSets      uint32 count + int64 each
 //	BW               float64 bits, row-major, len(WorkingSets) rows
 //	                 of len(Strides) columns (dimensions implied)
+//	Source           v2 only: one byte per cell, row-major, same
+//	                 dimensions as BW (0 simulated, 1 analytic)
+//
+// Version history: v1 (PR 6) had no Source plane and always wrote a
+// zero calibration hash. v1 snapshots still decode: their cells come
+// back tagged Simulated with CalHash zero.
 
 const (
-	snapshotMagic   = "SURF"
-	snapshotVersion = 1
+	snapshotMagic      = "SURF"
+	snapshotVersion    = 2
+	snapshotVersionPre = 1
 )
 
 // maxSnapshotElems bounds decoded axis lengths so a corrupt length
@@ -40,7 +46,8 @@ const maxSnapshotElems = 1 << 24
 // MarshalBinary encodes the surface in the versioned snapshot layout.
 func (s *Surface) MarshalBinary() ([]byte, error) {
 	buf := make([]byte, 0, 64+len(s.Machine)+len(s.Title)+
-		8*(len(s.Strides)+len(s.WorkingSets)+len(s.WorkingSets)*len(s.Strides)))
+		8*(len(s.Strides)+len(s.WorkingSets))+
+		9*len(s.WorkingSets)*len(s.Strides))
 	if len(s.BW) != len(s.WorkingSets) {
 		return nil, fmt.Errorf("surface snapshot: %d BW rows for %d working sets",
 			len(s.BW), len(s.WorkingSets))
@@ -51,9 +58,21 @@ func (s *Surface) MarshalBinary() ([]byte, error) {
 				i, len(row), len(s.Strides))
 		}
 	}
+	// An untagged surface (built by hand rather than New) encodes as
+	// all-Simulated; a tagged one must match the grid.
+	if len(s.Source) != 0 && len(s.Source) != len(s.WorkingSets) {
+		return nil, fmt.Errorf("surface snapshot: %d Source rows for %d working sets",
+			len(s.Source), len(s.WorkingSets))
+	}
+	for i, row := range s.Source {
+		if len(row) != len(s.Strides) {
+			return nil, fmt.Errorf("surface snapshot: Source row %d has %d columns for %d strides",
+				i, len(row), len(s.Strides))
+		}
+	}
 	buf = append(buf, snapshotMagic...)
 	buf = binary.LittleEndian.AppendUint16(buf, snapshotVersion)
-	buf = binary.LittleEndian.AppendUint64(buf, 0) // calibration hash, reserved
+	buf = binary.LittleEndian.AppendUint64(buf, s.CalHash)
 	buf = appendSnapString(buf, s.Machine)
 	buf = appendSnapString(buf, s.Title)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.Strides)))
@@ -69,6 +88,15 @@ func (s *Surface) MarshalBinary() ([]byte, error) {
 			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(float64(bw)))
 		}
 	}
+	for wi := range s.BW {
+		for si := range s.BW[wi] {
+			var src Source
+			if len(s.Source) != 0 {
+				src = s.Source[wi][si]
+			}
+			buf = append(buf, byte(src))
+		}
+	}
 	return buf, nil
 }
 
@@ -81,10 +109,11 @@ func (s *Surface) UnmarshalBinary(data []byte) error {
 	if string(r.take(4)) != snapshotMagic {
 		return fmt.Errorf("surface snapshot: bad magic")
 	}
-	if v := r.u16(); r.err == nil && v != snapshotVersion {
+	v := r.u16()
+	if r.err == nil && v != snapshotVersion && v != snapshotVersionPre {
 		return fmt.Errorf("surface snapshot: unsupported version %d (want %d)", v, snapshotVersion)
 	}
-	r.u64() // calibration hash, reserved
+	calHash := r.u64()
 	machine := r.str()
 	title := r.str()
 	strides := make([]int, r.count())
@@ -102,6 +131,21 @@ func (s *Surface) UnmarshalBinary(data []byte) error {
 			bw[i][j] = units.BytesPerSec(math.Float64frombits(r.u64()))
 		}
 	}
+	// v1 snapshots carry no Source plane: cells decode as Simulated.
+	src := make([][]Source, len(wss))
+	for i := range src {
+		src[i] = make([]Source, len(strides))
+		if v < 2 {
+			continue
+		}
+		for j := range src[i] {
+			tag := Source(r.u8())
+			if r.err == nil && tag > Analytic {
+				return fmt.Errorf("surface snapshot: unknown source tag %d at cell (%d,%d)", tag, i, j)
+			}
+			src[i][j] = tag
+		}
+	}
 	if r.err != nil {
 		return r.err
 	}
@@ -113,6 +157,8 @@ func (s *Surface) UnmarshalBinary(data []byte) error {
 	s.Strides = strides
 	s.WorkingSets = wss
 	s.BW = bw
+	s.Source = src
+	s.CalHash = calHash
 	return nil
 }
 
@@ -139,6 +185,14 @@ func (r *snapReader) take(n int) []byte {
 	b := r.data[r.off : r.off+n]
 	r.off += n
 	return b
+}
+
+func (r *snapReader) u8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
 }
 
 func (r *snapReader) u16() uint16 {

@@ -14,9 +14,13 @@ import (
 // non-trivial values on every field.
 func testSurface() *Surface {
 	s := New("t3e", "local load", []int{1, 2, 8}, []units.Bytes{4 * units.KB, 64 * units.KB})
+	s.CalHash = 0xDEADBEEFCAFE
 	for wi := range s.WorkingSets {
 		for si := range s.Strides {
 			s.Set(wi, si, units.BytesPerSec(float64(100+10*wi+si)+0.25))
+			if (wi+si)%2 == 1 {
+				s.SetSource(wi, si, Analytic)
+			}
 		}
 	}
 	return s
@@ -36,8 +40,9 @@ func TestSnapshotRoundTrip(t *testing.T) {
 		if err := got.UnmarshalBinary(b); err != nil {
 			t.Fatalf("%s: unmarshal: %v", s.Title, err)
 		}
-		if got.Machine != s.Machine || got.Title != s.Title ||
-			!axesEqual(&got, s) || !bwEqual(&got, s) {
+		if got.Machine != s.Machine || got.Title != s.Title || got.CalHash != s.CalHash ||
+			!axesEqual(&got, s) || !bwEqual(&got, s) ||
+			!reflect.DeepEqual(got.Source, s.Source) {
 			t.Fatalf("%s: round trip mismatch:\ngot  %+v\nwant %+v", s.Title, got, *s)
 		}
 		// Byte stability: re-encoding the decoded surface must
@@ -77,7 +82,7 @@ func bwEqual(a, b *Surface) bool {
 // surface are committed, and any layout change fails here until the
 // version is bumped and the golden regenerated (UPDATE_GOLDEN=1).
 func TestSnapshotGolden(t *testing.T) {
-	golden := filepath.Join("testdata", "surface_v1.bin")
+	golden := filepath.Join("testdata", "surface_v2.bin")
 	b, err := testSurface().MarshalBinary()
 	if err != nil {
 		t.Fatal(err)
@@ -104,6 +109,54 @@ func TestSnapshotGolden(t *testing.T) {
 	}
 	if got.Machine != "t3e" || len(got.BW) != 2 {
 		t.Fatalf("golden snapshot decoded to %+v", got)
+	}
+}
+
+// TestSnapshotV1Upgrade decodes the committed v1 fixture (written by
+// PR 6, before the Source plane and the populated calibration hash):
+// the cells must come back tagged Simulated with a zero CalHash, and
+// re-encoding must produce a valid v2 snapshot with the same grid.
+func TestSnapshotV1Upgrade(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "surface_v1.bin"))
+	if err != nil {
+		t.Fatalf("reading the v1 fixture: %v", err)
+	}
+	var s Surface
+	if err := s.UnmarshalBinary(data); err != nil {
+		t.Fatalf("decoding the v1 fixture: %v", err)
+	}
+	if s.Machine != "t3e" || s.Title != "local load" {
+		t.Fatalf("v1 fixture decoded to %q / %q", s.Machine, s.Title)
+	}
+	if s.CalHash != 0 {
+		t.Fatalf("v1 snapshot decoded with CalHash 0x%x, want 0", s.CalHash)
+	}
+	for wi := range s.WorkingSets {
+		for si := range s.Strides {
+			if s.SourceAt(wi, si) != Simulated {
+				t.Fatalf("v1 cell (%d,%d) decoded as %v, want simulated", wi, si, s.SourceAt(wi, si))
+			}
+			want := float64(100+10*wi+si) + 0.25
+			if float64(s.BW[wi][si]) != want {
+				t.Fatalf("v1 cell (%d,%d) = %v, want %v", wi, si, s.BW[wi][si], want)
+			}
+		}
+	}
+	// Upgrade: re-encoding writes the current version, and the round
+	// trip preserves the grid.
+	up, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatalf("re-encoding the upgraded snapshot: %v", err)
+	}
+	if up[4] != snapshotVersion {
+		t.Fatalf("upgraded snapshot has version %d, want %d", up[4], snapshotVersion)
+	}
+	var s2 Surface
+	if err := s2.UnmarshalBinary(up); err != nil {
+		t.Fatalf("decoding the upgraded snapshot: %v", err)
+	}
+	if !reflect.DeepEqual(s, s2) {
+		t.Fatalf("v1 -> v2 upgrade round trip mismatch:\nv1 %+v\nv2 %+v", s, s2)
 	}
 }
 
@@ -147,6 +200,9 @@ func TestSnapshotCorrupt(t *testing.T) {
 				b[off+i] = 0xFF
 			}
 		}),
+		// The source plane is the final run of bytes; tags above
+		// Analytic are rejected.
+		"bad source tag": corrupt(func(b []byte) { b[len(b)-1] = 0x7F }),
 	}
 	for name, data := range cases {
 		var got Surface

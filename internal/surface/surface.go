@@ -38,22 +38,54 @@ func WorkingSets(lo, hi units.Bytes) []units.Bytes {
 //
 //simlint:snapshot
 type Surface struct {
-	Machine     string
-	Title       string
+	Machine string
+	Title   string
+	// CalHash identifies the machine calibration the grid was
+	// computed from (machine Calibration().Hash()); zero when
+	// unknown (pre-v2 snapshots, hand-assembled grids).
+	CalHash     uint64
 	Strides     []int
 	WorkingSets []units.Bytes
 	// BW[w][s] is the bandwidth at WorkingSets[w], Strides[s].
 	BW [][]units.BytesPerSec
+	// Source[w][s] tags each cell's provenance: Simulated (the
+	// mechanistic truth) or Analytic (the closed-form fast path).
+	Source [][]Source
 }
 
-// New allocates a surface with the given axes.
+// Source tags where a cell's bandwidth came from.
+type Source uint8
+
+const (
+	// Simulated cells ran the full mechanistic simulation; they are
+	// the default and the ground truth.
+	Simulated Source = iota
+	// Analytic cells were filled by the closed-form model of
+	// internal/analytic (the pruned sweep's fast path).
+	Analytic
+)
+
+func (s Source) String() string {
+	switch s {
+	case Simulated:
+		return "simulated"
+	case Analytic:
+		return "analytic"
+	}
+	return fmt.Sprintf("Source(%d)", uint8(s))
+}
+
+// New allocates a surface with the given axes; every cell starts
+// tagged Simulated.
 func New(machine, title string, strides []int, wss []units.Bytes) *Surface {
 	s := &Surface{Machine: machine, Title: title,
 		Strides:     append([]int(nil), strides...),
 		WorkingSets: append([]units.Bytes(nil), wss...)}
 	s.BW = make([][]units.BytesPerSec, len(wss))
+	s.Source = make([][]Source, len(wss))
 	for i := range s.BW {
 		s.BW[i] = make([]units.BytesPerSec, len(strides))
+		s.Source[i] = make([]Source, len(strides))
 	}
 	return s
 }
@@ -61,6 +93,33 @@ func New(machine, title string, strides []int, wss []units.Bytes) *Surface {
 // Set stores a measurement.
 func (s *Surface) Set(wsIdx, strideIdx int, bw units.BytesPerSec) {
 	s.BW[wsIdx][strideIdx] = bw
+}
+
+// SetSource tags a cell's provenance.
+func (s *Surface) SetSource(wsIdx, strideIdx int, src Source) {
+	s.Source[wsIdx][strideIdx] = src
+}
+
+// SourceAt returns a cell's provenance; surfaces without tags (pre-v2
+// snapshots) are entirely simulated.
+func (s *Surface) SourceAt(wsIdx, strideIdx int) Source {
+	if len(s.Source) == 0 {
+		return Simulated
+	}
+	return s.Source[wsIdx][strideIdx]
+}
+
+// CountSource returns how many cells are tagged src.
+func (s *Surface) CountSource(src Source) int {
+	n := 0
+	for wi := range s.BW {
+		for si := range s.BW[wi] {
+			if s.SourceAt(wi, si) == src {
+				n++
+			}
+		}
+	}
+	return n
 }
 
 // At interpolates the bandwidth at an arbitrary (ws, stride) point,

@@ -61,6 +61,18 @@ const (
 	Word Bytes = 8
 )
 
+// Scale multiplies the size by a dimensionless factor.
+func (b Bytes) Scale(f float64) Bytes { return Bytes(float64(b) * f) }
+
+// GCD returns the greatest common divisor of two sizes — the folding
+// granularity of a strided walk over a power-of-two address map.
+func (b Bytes) GCD(o Bytes) Bytes {
+	for o != 0 {
+		b, o = o, b%o
+	}
+	return b
+}
+
 // Words returns the number of 64-bit words in the size.
 func (b Bytes) Words() int64 { return int64(b) / int64(Word) }
 

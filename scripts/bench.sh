@@ -5,7 +5,9 @@
 # checking the cached findings match the uncached ones byte for byte),
 # and record the results in BENCH_sweeps.json (wall-clock seconds and
 # grid points per second for each worker count, plus simlint timings
-# and the warm-cache hit rate).
+# and the warm-cache hit rate). Also times the model-guided pruned
+# sweep (figures -fast) with its simulated-cell fraction and the
+# closed-form model's raw points/sec.
 #
 # Run it from the repository root: ./scripts/bench.sh [jobs]
 # `jobs` defaults to the host's logical CPU count.
@@ -55,6 +57,26 @@ end=$(date +%s.%N)
 TTRACE=$(echo "$start $end" | awk '{printf "%.2f", $2 - $1}')
 echo "   ${TTRACE}s"
 
+# The analytic fast path: the same figure sweep with confident cells
+# filled from the closed-form model and only the pruner's uncertain
+# cells simulated. The stderr line reports the simulated fraction.
+echo "== figures -all -fast -j $JOBS =="
+start=$(date +%s.%N)
+"$TMP/figures" -all -fast -out "$TMP/pruned" -j "$JOBS" \
+    >"$TMP/pruned.stdout" 2>"$TMP/pruned.stderr"
+end=$(date +%s.%N)
+TFAST=$(echo "$start $end" | awk '{printf "%.2f", $2 - $1}')
+SIMFRAC=$(sed -n 's/^fast sweep: simulated \([0-9]*\) of \([0-9]*\) cells.*/\1 \2/p' \
+    "$TMP/pruned.stderr" | awk '{printf "%.3f", $1 / $2}')
+echo "   ${TFAST}s, simulated fraction $SIMFRAC"
+
+# Closed-form throughput: the model alone over the full three-machine
+# load grid, measured by the speed test (points/sec over ~1k cells).
+echo "== analytic model throughput =="
+go test ./internal/analytic/ -run TestAnalyticSpeed -v >"$TMP/analytic.stdout"
+APPS=$(sed -n 's|.*(\([0-9][0-9]*\) points/sec).*|\1|p' "$TMP/analytic.stdout" | head -1)
+echo "   ${APPS} points/sec"
+
 echo "== verifying determinism =="
 diff -r "$TMP/seq" "$TMP/par"
 cmp "$TMP/seq.stdout" "$TMP/par.stdout"
@@ -96,6 +118,7 @@ POINTS=$(cat "$TMP/seq.points")
 awk -v t1="$T1" -v tn="$TN" -v ttrace="$TTRACE" -v jobs="$JOBS" \
     -v points="$POINTS" -v tlint="$TLINT" \
     -v tcold="$TCOLD" -v twarm="$TWARM" -v hitrate="$HITRATE" \
+    -v tfast="$TFAST" -v simfrac="$SIMFRAC" -v apps="$APPS" \
     -v cpus="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)" 'BEGIN {
     printf "{\n"
     printf "  \"benchmark\": \"figures -all (figures 1-17 + tables A-C)\",\n"
@@ -104,7 +127,11 @@ awk -v t1="$T1" -v tn="$TN" -v ttrace="$TTRACE" -v jobs="$JOBS" \
     printf "  \"seq\": {\"jobs\": 1, \"seconds\": %.2f, \"points_per_sec\": %.1f},\n", t1, points / t1
     printf "  \"par\": {\"jobs\": %d, \"seconds\": %.2f, \"points_per_sec\": %.1f},\n", jobs, tn, points / tn
     printf "  \"traced\": {\"jobs\": %d, \"seconds\": %.2f, \"overhead_vs_par\": %.3f},\n", jobs, ttrace, ttrace / tn - 1
-    printf "  \"speedup\": %.2f,\n", t1 / tn
+    if (jobs > 1)
+        printf "  \"speedup\": %.2f,\n", t1 / tn
+    printf "  \"speedup_note\": \"wall-clock seq/par on this host; omitted when the parallel run also used one worker\",\n"
+    printf "  \"pruned\": {\"jobs\": %d, \"seconds\": %.2f, \"cells_simulated_frac\": %.3f},\n", jobs, tfast, simfrac
+    printf "  \"analytic\": {\"points_per_sec\": %d},\n", apps
     printf "  \"simlint\": {\"target\": \"./...\", \"seconds\": %.2f, \"cold_seconds\": %.2f, \"warm_seconds\": %.2f, \"cache_hit_rate\": %.3f}\n", tlint, tcold, twarm, hitrate
     printf "}\n"
 }' >"$OUT"

@@ -18,6 +18,10 @@
 #                           justify with a directive
 #   6. go test -race ./...— the full suite under the race detector
 #   7. memtrace smoke     — one traced point end to end
+#   8. analytic validation — memchar -validate on a reduced grid
+#                           (working sets to 512K): every regime's
+#                           mean divergence between the closed-form
+#                           model and the simulator stays within 15%
 #
 # Run it from the repository root: ./scripts/check.sh
 set -eu
@@ -50,5 +54,8 @@ go test -race ./...
 
 echo "== memtrace smoke =="
 go run ./cmd/memtrace -machine 8400 -ws 16K -stride 4 -out /dev/null
+
+echo "== analytic validation (reduced grid) =="
+go run ./cmd/memchar -validate -maxws 512K -j 4 >/dev/null
 
 echo "check: all green"
