@@ -23,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/report"
+	"repro/internal/store"
 	"repro/internal/surface"
 	"repro/internal/sweep"
 	"repro/internal/units"
@@ -35,6 +36,7 @@ func main() {
 	maxWS := flag.String("maxws", "8M", "largest working set for surfaces (bytes, or sizes like 512K, 8M)")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "sweep workers (1 = sequential)")
 	fast := flag.Bool("fast", false, "model-guided adaptive sweeps: fill analytically confident cells, simulate the rest")
+	storeDir := flag.String("store", ".sweepstore", "persistent surface store directory (\"\" disables caching)")
 	trace := flag.Bool("trace", false, "enable probe event tracing on every simulated machine")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
@@ -61,6 +63,20 @@ func main() {
 	if *trace {
 		ps = report.TracedPools(*jobs)
 	}
+	var st *store.Store
+	if *storeDir != "" {
+		st, err = store.Open(*storeDir, store.Options{
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		for _, k := range report.PoolNames(ps) {
+			ps[k].SetStore(st)
+		}
+	}
 
 	switch {
 	case *fig != 0:
@@ -68,10 +84,13 @@ func main() {
 	case *all:
 		err = writeAll(ms, ps, *out, ws, *fast)
 	default:
-		err = tables(ms, characterize(ps))
+		err = tables(ms, ps, characterize(ps))
 	}
 	if err != nil {
 		fatal(err)
+	}
+	if st != nil {
+		fmt.Fprintf(os.Stderr, "store: %s\n", st.Stats())
 	}
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
@@ -102,11 +121,11 @@ func sweptPoints(ps map[string]*sweep.Pool) int64 {
 	return total
 }
 
-func tables(ms map[string]machine.Machine, cs map[string]*core.Characterization) error {
+func tables(ms map[string]machine.Machine, ps map[string]*sweep.Pool, cs map[string]*core.Characterization) error {
 	fmt.Println("Table A — local load plateaus (paper §5 vs simulation)")
-	fmt.Println(report.Table(report.HeadlineLocal(ms)))
+	fmt.Println(report.Table(report.HeadlineLocal(ps)))
 	fmt.Println("Table B — copy and remote transfer plateaus (paper §6/§9 vs simulation)")
-	fmt.Println(report.Table(report.HeadlineCopy(ms)))
+	fmt.Println(report.Table(report.HeadlineCopy(ps)))
 
 	rows, err := report.HeadlineFFT(ms, cs)
 	if err != nil {
@@ -351,7 +370,7 @@ func writeAll(ms map[string]machine.Machine, ps map[string]*sweep.Pool, dir stri
 		return err
 	}
 	fmt.Fprintln(os.Stderr, "wrote figures to", dir)
-	if err := tables(ms, cs); err != nil {
+	if err := tables(ms, ps, cs); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "swept %d grid points\n", sweptPoints(ps))

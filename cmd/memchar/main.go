@@ -23,10 +23,18 @@ import (
 	"repro/internal/analytic"
 	"repro/internal/bench"
 	"repro/internal/machine"
+	"repro/internal/store"
 	"repro/internal/surface"
 	"repro/internal/sweep"
 	"repro/internal/units"
 )
+
+// reportStore prints the store's hit/miss tallies to stderr.
+func reportStore(st *store.Store) {
+	if st != nil {
+		fmt.Fprintf(os.Stderr, "store: %s\n", st.Stats())
+	}
+}
 
 func main() {
 	mach := flag.String("machine", "all", "8400, t3d, t3e, or all")
@@ -35,6 +43,7 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of ASCII art")
 	maxWS := flag.String("maxws", "8M", "largest working set (bytes, or sizes like 512K, 8M)")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "sweep workers (1 = sequential)")
+	storeDir := flag.String("store", ".sweepstore", "persistent surface store directory (\"\" disables caching)")
 	useModel := flag.Bool("analytic", false, "compute surfaces from the closed-form model instead of simulating")
 	validate := flag.Bool("validate", false, "diff the analytic model against the simulator and report per-regime divergence")
 	tol := flag.Float64("tol", 0.15, "per-regime mean divergence tolerance for -validate")
@@ -61,12 +70,28 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
+	var st *store.Store
+	if *storeDir != "" {
+		st, err = store.Open(*storeDir, store.Options{
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memchar:", err)
+			os.Exit(1)
+		}
+	}
+
 	if *validate {
-		os.Exit(runValidate(pick(*mach), *jobs, ws, *tol))
+		status := runValidate(pick(*mach), *jobs, ws, *tol, st)
+		reportStore(st)
+		os.Exit(status)
 	}
 
 	for _, factory := range pick(*mach) {
 		p := sweep.NewPool(factory, *jobs)
+		p.SetStore(st)
 		m := p.Machine()
 		switch *what {
 		case "local":
@@ -124,6 +149,7 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	reportStore(st)
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
 		if err != nil {
@@ -143,12 +169,13 @@ func main() {
 // simulated and closed-form — and prints the divergence reports.
 // Returns a nonzero exit status when any regime's mean divergence
 // exceeds tol.
-func runValidate(factories []func() machine.Machine, jobs int, maxWS units.Bytes, tol float64) int {
+func runValidate(factories []func() machine.Machine, jobs int, maxWS units.Bytes, tol float64, st *store.Store) int {
 	strides := surface.PaperStrides
 	wss := surface.WorkingSets(units.KB/2, maxWS)
 	status := 0
 	for _, factory := range factories {
 		p := sweep.NewPool(factory, jobs)
+		p.SetStore(st)
 		m := p.Machine()
 		cal := m.Calibration()
 		model := analytic.New(cal)

@@ -16,6 +16,7 @@ import (
 	"repro/internal/access"
 	"repro/internal/machine"
 	"repro/internal/node"
+	"repro/internal/store"
 	"repro/internal/surface"
 	"repro/internal/sweep"
 	"repro/internal/units"
@@ -99,18 +100,31 @@ func Transfer(m machine.Machine, src, dst int, cp access.CopyPattern, opt machin
 
 // LoadSurface sweeps LoadSum over the grid — Figures 1, 3, and 6.
 // Points fan out across the pool's workers; results land by index, so
-// the surface is byte-identical whatever the pool width.
+// the surface is byte-identical whatever the pool width. With a store
+// attached to the pool, a cached surface under the same calibration
+// is served (partial artifacts cost only their cold cells) and fresh
+// results are written back.
 func LoadSurface(p *sweep.Pool, idx int, strides []int, wss []units.Bytes) *surface.Surface {
-	s := surface.New(p.Machine().Name(), "local load bandwidth", strides, wss)
-	s.CalHash = p.Machine().Calibration().Hash()
+	cal := p.Machine().Calibration()
+	key := store.SurfaceKey(cal, store.PatternLoad, machine.Fetch, idx, 0, strides, wss)
 	base := machine.LocalBase(idx)
-	// The load kernel cannot fail; Run's error is always nil here.
-	_ = p.Run(len(wss)*len(strides), func(m machine.Machine, i int) error {
+	kernel := func(m machine.Machine, i int, s *surface.Surface) error {
 		wi, si := i/len(strides), i%len(strides)
 		bw := LoadSum(m, idx, access.Pattern{Base: base, WorkingSet: wss[wi], Stride: strides[si]})
 		s.Set(wi, si, bw)
+		s.SetSource(wi, si, surface.Simulated)
 		return nil
+	}
+	if s, done := storedSurface(p, key, kernel); done {
+		return s
+	}
+	s := surface.New(p.Machine().Name(), "local load bandwidth", strides, wss)
+	s.CalHash = cal.Hash()
+	// The load kernel cannot fail; Run's error is always nil here.
+	_ = p.Run(len(wss)*len(strides), func(m machine.Machine, i int) error {
+		return kernel(m, i, s)
 	})
+	putSurface(p, key, s)
 	return s
 }
 
@@ -118,10 +132,9 @@ func LoadSurface(p *sweep.Pool, idx int, strides []int, wss []units.Bytes) *surf
 // 4, 5, 7, and 8. The stride applies to the remote side: the loads
 // for Fetch, the stores for Deposit; the local side is contiguous.
 func TransferSurface(p *sweep.Pool, src, dst int, mode machine.Mode, strides []int, wss []units.Bytes) (*surface.Surface, error) {
-	title := "remote transfer bandwidth, " + mode.String()
-	s := surface.New(p.Machine().Name(), title, strides, wss)
-	s.CalHash = p.Machine().Calibration().Hash()
-	err := p.Run(len(wss)*len(strides), func(m machine.Machine, i int) error {
+	cal := p.Machine().Calibration()
+	key := store.SurfaceKey(cal, store.PatternTransfer, mode, src, dst, strides, wss)
+	kernel := func(m machine.Machine, i int, s *surface.Surface) error {
 		wi, si := i/len(strides), i%len(strides)
 		cp := access.CopyPattern{
 			SrcBase: machine.LocalBase(src), DstBase: machine.LocalBase(dst),
@@ -137,28 +150,49 @@ func TransferSurface(p *sweep.Pool, src, dst int, mode machine.Mode, strides []i
 			return err
 		}
 		s.Set(wi, si, bw)
+		s.SetSource(wi, si, surface.Simulated)
 		return nil
+	}
+	if s, done := storedSurface(p, key, kernel); done {
+		return s, nil
+	}
+	title := "remote transfer bandwidth, " + mode.String()
+	s := surface.New(p.Machine().Name(), title, strides, wss)
+	s.CalHash = cal.Hash()
+	err := p.Run(len(wss)*len(strides), func(m machine.Machine, i int) error {
+		return kernel(m, i, s)
 	})
 	if err != nil {
 		return nil, err
 	}
+	putSurface(p, key, s)
 	return s, nil
 }
 
 // CopyCurve sweeps LocalCopy over strides at a fixed large working
 // set — Figures 9-11. stridedLoads selects which side is strided.
 func CopyCurve(p *sweep.Pool, idx int, ws units.Bytes, strides []int, stridedLoads bool) *surface.Curve {
-	title := "local copy, contiguous loads/strided stores"
-	if stridedLoads {
-		title = "local copy, strided loads/contiguous stores"
-	}
-	c := &surface.Curve{Machine: p.Machine().Name(), Title: title,
-		Strides: append([]int(nil), strides...),
-		BW:      make([]units.BytesPerSec, len(strides))}
-	base := machine.LocalBase(idx)
+	// Clamp before keying: the sweep only ever sees the clamped
+	// working set, so two over-cap requests share one store entry.
 	if ws > transferCap {
 		ws = transferCap
 	}
+	cal := p.Machine().Calibration()
+	variant := "ss"
+	title := "local copy, contiguous loads/strided stores"
+	if stridedLoads {
+		variant = "sl"
+		title = "local copy, strided loads/contiguous stores"
+	}
+	key := store.CurveKey(cal, store.PatternCopy, variant, idx, 0, strides, ws)
+	if c, ok := storedCurve(p, key); ok {
+		return c
+	}
+	c := &surface.Curve{Machine: p.Machine().Name(), Title: title,
+		CalHash: cal.Hash(),
+		Strides: append([]int(nil), strides...),
+		BW:      make([]units.BytesPerSec, len(strides))}
+	base := machine.LocalBase(idx)
 	// The copy kernel cannot fail; Run's error is always nil here.
 	_ = p.Run(len(strides), func(m machine.Machine, i int) error {
 		cp := access.CopyPattern{
@@ -173,6 +207,7 @@ func CopyCurve(p *sweep.Pool, idx int, ws units.Bytes, strides []int, stridedLoa
 		c.BW[i] = LocalCopy(m, idx, cp)
 		return nil
 	})
+	putCurve(p, key, c)
 	return c
 }
 
@@ -180,13 +215,30 @@ func CopyCurve(p *sweep.Pool, idx int, ws units.Bytes, strides []int, stridedLoa
 // working set — Figures 12-14. stridedLoads selects whether the
 // source reads or the destination writes are strided.
 func TransferCurve(p *sweep.Pool, src, dst int, ws units.Bytes, strides []int, mode machine.Mode, stridedLoads bool, pipelined bool) (*surface.Curve, error) {
+	cal := p.Machine().Calibration()
+	variant := mode.String() + "-ss"
 	title := "remote copy, " + mode.String()
 	if stridedLoads {
+		variant = mode.String() + "-sl"
 		title += ", strided loads/contiguous stores"
 	} else {
 		title += ", contiguous loads/strided stores"
 	}
+	if pipelined {
+		variant += "-p"
+	}
+	// Transfer clamps each point's working set to transferCap, so the
+	// key uses the clamped value the sweep actually measures.
+	keyWS := ws
+	if keyWS > transferCap {
+		keyWS = transferCap
+	}
+	key := store.CurveKey(cal, store.PatternRemoteCopy, variant, src, dst, strides, keyWS)
+	if c, ok := storedCurve(p, key); ok {
+		return c, nil
+	}
 	c := &surface.Curve{Machine: p.Machine().Name(), Title: title,
+		CalHash: cal.Hash(),
 		Strides: append([]int(nil), strides...),
 		BW:      make([]units.BytesPerSec, len(strides))}
 	err := p.Run(len(strides), func(m machine.Machine, i int) error {
@@ -209,6 +261,7 @@ func TransferCurve(p *sweep.Pool, src, dst int, ws units.Bytes, strides []int, m
 	if err != nil {
 		return nil, err
 	}
+	putCurve(p, key, c)
 	return c, nil
 }
 

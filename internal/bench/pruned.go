@@ -13,6 +13,7 @@ import (
 	"repro/internal/access"
 	"repro/internal/analytic"
 	"repro/internal/machine"
+	"repro/internal/store"
 	"repro/internal/surface"
 	"repro/internal/sweep"
 	"repro/internal/units"
@@ -20,9 +21,19 @@ import (
 
 // LoadSurfacePruned is LoadSurface with the analytic fast path
 // filling the confident cells. Returns the surface and how many cells
-// were simulated.
+// were simulated. With a store attached, any artifact under the same
+// key — the pruned shape itself, or a complete surface an earlier
+// full run wrote — satisfies the request with zero simulation; a
+// complete hit upgrades the pruned request's analytic cells to
+// simulated values.
 func LoadSurfacePruned(p *sweep.Pool, idx int, strides []int, wss []units.Bytes) (*surface.Surface, int) {
 	cal := p.Machine().Calibration()
+	key := store.SurfaceKey(cal, store.PatternLoad, machine.Fetch, idx, 0, strides, wss)
+	if st := p.Store(); st != nil {
+		if s, ok := st.GetSurface(key); ok {
+			return s, 0
+		}
+	}
 	pr := analytic.NewPruner(cal)
 	s := surface.New(p.Machine().Name(), "local load bandwidth", strides, wss)
 	s.CalHash = cal.Hash()
@@ -43,6 +54,7 @@ func LoadSurfacePruned(p *sweep.Pool, idx int, strides []int, wss []units.Bytes)
 		s.SetSource(wi, si, surface.Simulated)
 		return nil
 	})
+	putSurface(p, key, s)
 	return s, simulated
 }
 
@@ -51,6 +63,12 @@ func LoadSurfacePruned(p *sweep.Pool, idx int, strides []int, wss []units.Bytes)
 // cells were simulated.
 func TransferSurfacePruned(p *sweep.Pool, src, dst int, mode machine.Mode, strides []int, wss []units.Bytes) (*surface.Surface, int, error) {
 	cal := p.Machine().Calibration()
+	key := store.SurfaceKey(cal, store.PatternTransfer, mode, src, dst, strides, wss)
+	if st := p.Store(); st != nil {
+		if s, ok := st.GetSurface(key); ok {
+			return s, 0, nil
+		}
+	}
 	pr := analytic.NewPruner(cal)
 	title := "remote transfer bandwidth, " + mode.String()
 	s := surface.New(p.Machine().Name(), title, strides, wss)
@@ -91,5 +109,6 @@ func TransferSurfacePruned(p *sweep.Pool, src, dst int, mode machine.Mode, strid
 	if err != nil {
 		return nil, 0, err
 	}
+	putSurface(p, key, s)
 	return s, simulated, nil
 }

@@ -1,0 +1,94 @@
+package bench
+
+// Store-backed sweeps: when the pool carries a persistent surface
+// store (sweep.Pool.SetStore), every sweep function consults it
+// before scheduling points. A complete artifact under the same
+// calibration hash is served outright; a partial artifact — a pruned
+// sweep's, with analytic fill cells — costs only its cold cells,
+// simulated through the very same kernel a full sweep runs, so the
+// completed surface is byte-identical to a never-cached full run.
+// Finished artifacts are written back, upgrading the store over time.
+
+import (
+	"repro/internal/machine"
+	"repro/internal/store"
+	"repro/internal/surface"
+	"repro/internal/sweep"
+)
+
+// surfaceKernel computes one grid cell of s. It is shared between the
+// full-sweep Run and the store's cold-cell fill so both paths produce
+// identical bytes.
+type surfaceKernel func(m machine.Machine, i int, s *surface.Surface) error
+
+// storedSurface tries to satisfy a full-surface request from the
+// pool's store. A complete hit returns as-is; a partial hit simulates
+// only the cells whose provenance is not the simulator and writes the
+// completed surface back. done is false on a miss (or with no store
+// attached), telling the caller to run the full sweep.
+func storedSurface(p *sweep.Pool, key store.Key, kernel surfaceKernel) (*surface.Surface, bool) {
+	st := p.Store()
+	if st == nil {
+		return nil, false
+	}
+	s, ok := st.GetSurface(key)
+	if !ok {
+		return nil, false
+	}
+	cold := coldCells(s)
+	if len(cold) == 0 {
+		return s, true
+	}
+	err := p.RunAt(cold, func(m machine.Machine, i int) error {
+		return kernel(m, i, s)
+	})
+	if err != nil {
+		// A failing fill falls back to the full sweep, which will
+		// surface the error through its own path.
+		return nil, false
+	}
+	putSurface(p, key, s)
+	return s, true
+}
+
+// coldCells returns the flat indices of the cells an earlier pruned
+// sweep filled from the analytic model — the ones a full-surface
+// request still has to simulate.
+func coldCells(s *surface.Surface) []int {
+	var idx []int
+	for wi := range s.BW {
+		for si := range s.BW[wi] {
+			if s.SourceAt(wi, si) != surface.Simulated {
+				idx = append(idx, wi*len(s.Strides)+si)
+			}
+		}
+	}
+	return idx
+}
+
+// putSurface writes a finished surface back to the pool's store. A
+// write failure only costs future hits — the sweep's result stands —
+// so it is not propagated.
+func putSurface(p *sweep.Pool, key store.Key, s *surface.Surface) {
+	if st := p.Store(); st != nil {
+		_ = st.PutSurface(key, s)
+	}
+}
+
+// putCurve writes a finished curve back to the pool's store.
+func putCurve(p *sweep.Pool, key store.Key, c *surface.Curve) {
+	if st := p.Store(); st != nil {
+		_ = st.PutCurve(key, c)
+	}
+}
+
+// storedCurve tries to satisfy a curve request from the pool's store.
+// Curves are never partial — they are swept in one shot — so this is
+// a plain hit/miss.
+func storedCurve(p *sweep.Pool, key store.Key) (*surface.Curve, bool) {
+	st := p.Store()
+	if st == nil {
+		return nil, false
+	}
+	return st.GetCurve(key)
+}

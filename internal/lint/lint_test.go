@@ -355,6 +355,71 @@ func TestSnapshotsafeCatchesSurfaceMutant(t *testing.T) {
 	}
 }
 
+// TestSnapshotsafeOnStoreManifest runs the analyzer over the real
+// store package: the manifest codec is the surface store's index and
+// must come out clean.
+func TestSnapshotsafeOnStoreManifest(t *testing.T) {
+	pkgs, err := NewLoader().Load([]string{"repro/internal/store"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Run(pkgs, []*Analyzer{Snapshotsafe}); len(diags) != 0 {
+		t.Fatalf("store manifest codec is not snapshot-safe: %v", diags)
+	}
+}
+
+// TestSnapshotsafeCatchesManifestMutant mirrors the surface mutant
+// test for the store manifest: deleting the GridSig write from
+// Entry.MarshalBinary must make the analyzer report — the store's
+// guarantee that a manifest entry always carries its full key.
+func TestSnapshotsafeCatchesManifestMutant(t *testing.T) {
+	refs, err := Expand([]string{"repro/internal/store"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 1 {
+		t.Fatalf("Expand = %v", refs)
+	}
+	dir, err := os.MkdirTemp("testdata", "manifest-mutant-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	ents, err := os.ReadDir(refs[0].Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(refs[0].Dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := string(src)
+		if e.Name() == "manifest.go" {
+			const write = "\tbuf = binary.LittleEndian.AppendUint64(buf, e.GridSig)\n"
+			if !strings.Contains(text, write) {
+				t.Fatal("store/manifest.go lost the expected GridSig write; update this test")
+			}
+			text = strings.Replace(text, write, "", 1)
+		}
+		if err := os.WriteFile(filepath.Join(dir, e.Name()), []byte(text), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pkg, err := NewLoader().LoadDir(dir, "repro/internal/lint/"+filepath.ToSlash(dir))
+	if err != nil {
+		t.Fatalf("loading mutated store: %v", err)
+	}
+	diags := Run([]*Package{pkg}, []*Analyzer{Snapshotsafe})
+	if len(diags) != 1 ||
+		!strings.Contains(diags[0].Message, "Entry.GridSig is never written by MarshalBinary") {
+		t.Fatalf("want exactly the dropped-GridSig finding, got %v", diags)
+	}
+}
+
 // TestRepoIsLintClean keeps the whole module simlint-clean from
 // inside tier-1: the same invariant scripts/check.sh enforces.
 func TestRepoIsLintClean(t *testing.T) {

@@ -45,7 +45,7 @@ func TestHeadlineLocalWithinPaperTolerance(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full sweep")
 	}
-	rows := HeadlineLocal(Machines())
+	rows := HeadlineLocal(Pools(1))
 	if len(rows) < 10 {
 		t.Fatalf("expected the full Table A, got %d rows", len(rows))
 	}

@@ -257,10 +257,18 @@ func (s *Surface) ASCII() string {
 	return b.String()
 }
 
-// Curve is a single bandwidth-vs-stride series (Figures 9-14).
+// Curve is a single bandwidth-vs-stride series (Figures 9-14). Like
+// Surface it is a persistent artifact: snapshot.go gives it a
+// versioned byte-stable codec so the surface store can serve the
+// fixed-working-set copy and transfer sweeps from disk.
+//
+//simlint:snapshot
 type Curve struct {
 	Machine string
 	Title   string
+	// CalHash identifies the machine calibration the curve was
+	// measured from; zero when unknown (hand-assembled curves).
+	CalHash uint64
 	Strides []int
 	BW      []units.BytesPerSec
 }

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/machine"
 	"repro/internal/probe"
+	"repro/internal/store"
 )
 
 // Pool schedules sweep points over a fixed set of workers.
@@ -32,6 +33,7 @@ type Pool struct {
 	workers  int
 	machines []machine.Machine
 	points   int64
+	store    *store.Store
 }
 
 // NewPool builds a pool of the given width. workers <= 0 selects
@@ -54,6 +56,15 @@ func Seq(m machine.Machine) *Pool {
 
 // Workers returns the pool width.
 func (p *Pool) Workers() int { return p.workers }
+
+// SetStore attaches a persistent surface store. The bench sweep
+// functions consult an attached store before scheduling points and
+// write completed artifacts back; a nil store (the default) leaves
+// every sweep fully simulated.
+func (p *Pool) SetStore(s *store.Store) { p.store = s }
+
+// Store returns the attached surface store, or nil.
+func (p *Pool) Store() *store.Store { return p.store }
 
 // Points returns the total number of grid points scheduled so far.
 func (p *Pool) Points() int64 { return p.points }
@@ -141,10 +152,18 @@ func (p *Pool) RunPruned(n int, skip func(i int) bool, kernel func(m machine.Mac
 			idx = append(idx, i)
 		}
 	}
-	err := p.Run(len(idx), func(m machine.Machine, j int) error {
+	return len(idx), p.RunAt(idx, kernel)
+}
+
+// RunAt executes kernel for exactly the given point indices, in the
+// given order on a single worker, under the Run determinism contract
+// (ColdReset per point, results by index). It is the subset-run
+// primitive behind pruned sweeps and store-backed cold-cell fills: a
+// partially cached surface costs only its missing cells.
+func (p *Pool) RunAt(idx []int, kernel func(m machine.Machine, i int) error) error {
+	return p.Run(len(idx), func(m machine.Machine, j int) error {
 		return kernel(m, idx[j])
 	})
-	return len(idx), err
 }
 
 // RunCaptured executes kernel like Run and additionally captures each

@@ -6,8 +6,10 @@
 # and record the results in BENCH_sweeps.json (wall-clock seconds and
 # grid points per second for each worker count, plus simlint timings
 # and the warm-cache hit rate). Also times the model-guided pruned
-# sweep (figures -fast) with its simulated-cell fraction and the
-# closed-form model's raw points/sec.
+# sweep (figures -fast) with its simulated-cell fraction, the
+# closed-form model's raw points/sec, and the persistent surface
+# store cold/warm (byte-comparing the warm artifact tree against the
+# cold and storeless ones).
 #
 # Run it from the repository root: ./scripts/bench.sh [jobs]
 # `jobs` defaults to the host's logical CPU count.
@@ -26,12 +28,14 @@ go build -o "$TMP/figures" ./cmd/figures
 echo "== building simlint =="
 go build -o "$TMP/simlint" ./cmd/simlint
 
-# run DIR JOBS — run the full sweep, print elapsed seconds on stdout,
-# and leave the "swept N grid points" count in DIR/points.
+# run DIR JOBS [extra flags] — run the full sweep (surface store off,
+# so the simulator itself is what gets timed), print elapsed seconds
+# on stdout, and leave the "swept N grid points" count in DIR/points.
 run() {
-    dir="$1" jobs="$2"
+    dir="$1" jobs="$2"; shift 2
     start=$(date +%s.%N)
-    "$TMP/figures" -all -out "$dir" -j "$jobs" >"$dir.stdout" 2>"$dir.stderr"
+    "$TMP/figures" -all -out "$dir" -j "$jobs" -store "" "$@" \
+        >"$dir.stdout" 2>"$dir.stderr"
     end=$(date +%s.%N)
     sed -n 's/^swept \([0-9]*\) grid points$/\1/p' "$dir.stderr" >"$dir.points"
     echo "$start $end" | awk '{printf "%.2f", $2 - $1}'
@@ -51,7 +55,7 @@ echo "   ${TN}s"
 # stay within a few percent.
 echo "== figures -all -j $JOBS -trace =="
 start=$(date +%s.%N)
-"$TMP/figures" -all -trace -out "$TMP/traced" -j "$JOBS" \
+"$TMP/figures" -all -trace -out "$TMP/traced" -j "$JOBS" -store "" \
     >"$TMP/traced.stdout" 2>"$TMP/traced.stderr"
 end=$(date +%s.%N)
 TTRACE=$(echo "$start $end" | awk '{printf "%.2f", $2 - $1}')
@@ -62,13 +66,34 @@ echo "   ${TTRACE}s"
 # cells simulated. The stderr line reports the simulated fraction.
 echo "== figures -all -fast -j $JOBS =="
 start=$(date +%s.%N)
-"$TMP/figures" -all -fast -out "$TMP/pruned" -j "$JOBS" \
+"$TMP/figures" -all -fast -out "$TMP/pruned" -j "$JOBS" -store "" \
     >"$TMP/pruned.stdout" 2>"$TMP/pruned.stderr"
 end=$(date +%s.%N)
 TFAST=$(echo "$start $end" | awk '{printf "%.2f", $2 - $1}')
 SIMFRAC=$(sed -n 's/^fast sweep: simulated \([0-9]*\) of \([0-9]*\) cells.*/\1 \2/p' \
     "$TMP/pruned.stderr" | awk '{printf "%.3f", $1 / $2}')
 echo "   ${TFAST}s, simulated fraction $SIMFRAC"
+
+# The persistent surface store: a cold store-backed run (simulates
+# everything, writes every artifact back) followed by a warm run that
+# serves the whole figure set from the store. The warm artifact tree
+# and tables must be byte-identical to the cold ones.
+echo "== figures -all -j $JOBS -store (cold) =="
+start=$(date +%s.%N)
+"$TMP/figures" -all -out "$TMP/storecold" -j "$JOBS" -store "$TMP/sweepstore" \
+    >"$TMP/storecold.stdout" 2>"$TMP/storecold.stderr"
+end=$(date +%s.%N)
+TSCOLD=$(echo "$start $end" | awk '{printf "%.2f", $2 - $1}')
+echo "   ${TSCOLD}s"
+
+echo "== figures -all -j $JOBS -store (warm) =="
+start=$(date +%s.%N)
+"$TMP/figures" -all -out "$TMP/storewarm" -j "$JOBS" -store "$TMP/sweepstore" \
+    >"$TMP/storewarm.stdout" 2>"$TMP/storewarm.stderr"
+end=$(date +%s.%N)
+TSWARM=$(echo "$start $end" | awk '{printf "%.2f", $2 - $1}')
+SHITRATE=$(sed -n 's/^store: .*hit rate \([0-9.]*\),.*/\1/p' "$TMP/storewarm.stderr")
+echo "   ${TSWARM}s, hit rate $SHITRATE"
 
 # Closed-form throughput: the model alone over the full three-machine
 # load grid, measured by the speed test (points/sec over ~1k cells).
@@ -81,7 +106,10 @@ echo "== verifying determinism =="
 diff -r "$TMP/seq" "$TMP/par"
 cmp "$TMP/seq.stdout" "$TMP/par.stdout"
 diff -r "$TMP/par" "$TMP/traced"
-echo "   artifacts byte-identical across worker counts and tracing"
+diff -r "$TMP/storecold" "$TMP/storewarm"
+cmp "$TMP/storecold.stdout" "$TMP/storewarm.stdout"
+diff -r "$TMP/seq" "$TMP/storecold"
+echo "   artifacts byte-identical across worker counts, tracing, and store modes"
 
 echo "== simlint ./... (uncached) =="
 start=$(date +%s.%N)
@@ -119,6 +147,7 @@ awk -v t1="$T1" -v tn="$TN" -v ttrace="$TTRACE" -v jobs="$JOBS" \
     -v points="$POINTS" -v tlint="$TLINT" \
     -v tcold="$TCOLD" -v twarm="$TWARM" -v hitrate="$HITRATE" \
     -v tfast="$TFAST" -v simfrac="$SIMFRAC" -v apps="$APPS" \
+    -v tscold="$TSCOLD" -v tswarm="$TSWARM" -v shitrate="$SHITRATE" \
     -v cpus="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)" 'BEGIN {
     printf "{\n"
     printf "  \"benchmark\": \"figures -all (figures 1-17 + tables A-C)\",\n"
@@ -132,6 +161,7 @@ awk -v t1="$T1" -v tn="$TN" -v ttrace="$TTRACE" -v jobs="$JOBS" \
     printf "  \"speedup_note\": \"wall-clock seq/par on this host; omitted when the parallel run also used one worker\",\n"
     printf "  \"pruned\": {\"jobs\": %d, \"seconds\": %.2f, \"cells_simulated_frac\": %.3f},\n", jobs, tfast, simfrac
     printf "  \"analytic\": {\"points_per_sec\": %d},\n", apps
+    printf "  \"store\": {\"cold_seconds\": %.2f, \"warm_seconds\": %.2f, \"hit_rate\": %.3f, \"warm_speedup_vs_pruned\": %.1f},\n", tscold, tswarm, shitrate, tfast / tswarm
     printf "  \"simlint\": {\"target\": \"./...\", \"seconds\": %.2f, \"cold_seconds\": %.2f, \"warm_seconds\": %.2f, \"cache_hit_rate\": %.3f}\n", tlint, tcold, twarm, hitrate
     printf "}\n"
 }' >"$OUT"

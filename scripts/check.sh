@@ -22,6 +22,9 @@
 #                           (working sets to 512K): every regime's
 #                           mean divergence between the closed-form
 #                           model and the simulator stays within 15%
+#   9. warm-store smoke   — one figure rendered twice against the
+#                           same surface store; the warm run must
+#                           reproduce the cold bytes exactly
 #
 # Run it from the repository root: ./scripts/check.sh
 set -eu
@@ -56,6 +59,16 @@ echo "== memtrace smoke =="
 go run ./cmd/memtrace -machine 8400 -ws 16K -stride 4 -out /dev/null
 
 echo "== analytic validation (reduced grid) =="
-go run ./cmd/memchar -validate -maxws 512K -j 4 >/dev/null
+go run ./cmd/memchar -validate -maxws 512K -j 4 -store "" >/dev/null
+
+echo "== warm-store smoke =="
+smoke=$(mktemp -d)
+trap 'rm -rf "$smoke"' EXIT
+go run ./cmd/figures -fig 6 -store "$smoke/sweepstore" \
+    >"$smoke/cold.stdout" 2>/dev/null
+go run ./cmd/figures -fig 6 -store "$smoke/sweepstore" \
+    >"$smoke/warm.stdout" 2>"$smoke/warm.stderr"
+cmp "$smoke/cold.stdout" "$smoke/warm.stdout"
+grep -q "store: .* 0 misses" "$smoke/warm.stderr"
 
 echo "check: all green"
