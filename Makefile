@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the pre-commit gate.
 
-.PHONY: build test check lint lint-fix lint-baseline fmt figures bench
+.PHONY: build test check lint lint-fix lint-baseline mutate fmt figures bench
 
 build:
 	go build ./...
@@ -30,6 +30,13 @@ lint-baseline:
 # ColdReset); output is always gofmt-clean.
 lint-fix:
 	go run ./cmd/simlint -fix ./...
+
+# mutate runs the full domain mutation sweep (cmd/simmut) over the
+# counter, units, codec, reset, and cursor fault classes; results are
+# served from .simmutcache when the tree is unchanged. Exit 1 means a
+# mutant survived — write the missing test or annotate the site.
+mutate:
+	go run ./cmd/simmut -v
 
 fmt:
 	gofmt -w .

@@ -9,6 +9,7 @@
 //	simlint -sarif out.sarif ./...          # SARIF 2.1.0 log
 //	simlint -baseline lint.baseline.json ./...  # fail on NEW findings only
 //	simlint -update-baseline -baseline lint.baseline.json ./...
+//	simlint -prune-baseline -baseline lint.baseline.json ./...  # drop stale entries
 //	simlint -ignores ./...        # audit every //simlint:ignore
 //
 // Each analyzer has an enable flag named after it (default true);
@@ -52,6 +53,7 @@ func run() int {
 	sarifOut := flag.String("sarif", "", "also write findings to this file as SARIF 2.1.0")
 	baselinePath := flag.String("baseline", "", "suppress findings recorded in this baseline file")
 	updateBaseline := flag.Bool("update-baseline", false, "rewrite -baseline with the current findings and exit 0")
+	pruneBaseline := flag.Bool("prune-baseline", false, "rewrite -baseline without entries that no longer match any finding")
 	ignores := flag.Bool("ignores", false, "list every //simlint:ignore directive instead of analyzing")
 	verbose := flag.Bool("v", false, "report cache statistics on stderr")
 	enabled := map[string]*bool{}
@@ -173,9 +175,26 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "simlint:", err)
 			return 2
 		}
-		fresh := base.Filter(diags)
+		fresh, stale := base.Audit(diags)
 		suppressed = len(diags) - len(fresh)
 		diags = fresh
+		for _, s := range stale {
+			fmt.Fprintf(os.Stderr, "simlint: stale baseline entry: [%s] %s: %s\n",
+				s.Analyzer, s.File, s.Message)
+		}
+		if len(stale) > 0 {
+			if *pruneBaseline {
+				if err := base.Pruned(stale).Write(*baselinePath); err != nil {
+					fmt.Fprintln(os.Stderr, "simlint:", err)
+					return 2
+				}
+				fmt.Fprintf(os.Stderr, "simlint: pruned %d stale entr%s from %s\n",
+					len(stale), plural(len(stale), "y", "ies"), *baselinePath)
+			} else {
+				fmt.Fprintf(os.Stderr, "simlint: %d stale baseline entr%s; run with -prune-baseline to rewrite %s\n",
+					len(stale), plural(len(stale), "y", "ies"), *baselinePath)
+			}
+		}
 	}
 
 	if *sarifOut != "" {
@@ -219,6 +238,14 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "simlint: clean (%d baselined finding(s) remain)\n", suppressed)
 	}
 	return 0
+}
+
+// plural picks the suffix for a count.
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }
 
 // reportIgnores lists every //simlint:ignore directive with its

@@ -1,0 +1,148 @@
+// Command simmut is the domain mutation-testing driver: it plants
+// small simulator-specific faults (dropped probe counter updates,
+// flipped units arithmetic, deleted snapshot field writes, forgotten
+// Reset assignments, off-by-one cursor bounds) and demands that the
+// owning package's tests or the simlint analyzers kill each one.
+//
+// Usage:
+//
+//	simmut [flags] [packages]
+//
+// With no packages it sweeps the simulator's artifact-bearing core:
+// units, access, probe, surface, store, and machine. Survivors are
+// reported with file:line, operator, and description, and make the
+// exit status non-zero — a surviving mutant is a hole in the suite.
+//
+// Results are cached per (operator x site x file hash x package dir
+// hash) under -cache-dir, so re-running on an unchanged tree is
+// free. -budget N runs a deterministic sample for CI smoke gates.
+// Equivalent mutants are annotated in source:
+//
+//	//simmut:ignore <operator> <reason>
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/mutate"
+)
+
+// defaultPackages is the artifact-bearing core: every package whose
+// numbers the paper's figures depend on directly.
+var defaultPackages = []string{
+	"./internal/units",
+	"./internal/access",
+	"./internal/probe",
+	"./internal/surface",
+	"./internal/store",
+	"./internal/machine",
+}
+
+func main() {
+	var (
+		budget   = flag.Int("budget", 0, "run at most N mutants (deterministic sample); 0 runs all")
+		ops      = flag.String("ops", "", "comma-separated operator subset (default: all)")
+		jsonOut  = flag.Bool("json", false, "emit the report as JSON")
+		useCache = flag.Bool("cache", true, "cache mutant outcomes by content hash")
+		cacheDir = flag.String("cache-dir", ".simmutcache", "cache directory")
+		timeout  = flag.Duration("timeout", 3*time.Minute, "per-mutant go test timeout")
+		list     = flag.Bool("list", false, "list mutation sites without running them")
+		verbose  = flag.Bool("v", false, "narrate progress")
+	)
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = defaultPackages
+	}
+	cfg := mutate.Config{
+		Budget:  *budget,
+		Timeout: *timeout,
+	}
+	if *ops != "" {
+		cfg.Ops = map[string]bool{}
+		for _, o := range strings.Split(*ops, ",") {
+			cfg.Ops[strings.TrimSpace(o)] = true
+		}
+	}
+	if *useCache {
+		cfg.CacheDir = *cacheDir
+	}
+	if *verbose {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	if *list {
+		if err := listSites(patterns, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "simmut: %v\n", err)
+			os.Exit(2)
+		}
+		return
+	}
+
+	rep, err := mutate.Run(patterns, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simmut: %v\n", err)
+		os.Exit(2)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "simmut: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		printReport(rep)
+	}
+	if len(rep.SurvivedList) > 0 {
+		os.Exit(1)
+	}
+}
+
+func listSites(patterns []string, cfg mutate.Config) error {
+	sites, err := mutate.ListSites(patterns, cfg.Ops)
+	if err != nil {
+		return err
+	}
+	for _, s := range sites {
+		status := ""
+		if s.Ignore != "" {
+			status = " (ignored: " + s.Ignore + ")"
+		}
+		fmt.Printf("%s:%d: [%s] %s%s\n", rel(s.File), s.Line, s.Op, s.Desc, status)
+	}
+	fmt.Printf("%d sites\n", len(sites))
+	return nil
+}
+
+func printReport(rep *mutate.Report) {
+	for _, s := range rep.SurvivedList {
+		fmt.Printf("%s:%d: [%s] SURVIVED %s\n",
+			rel(s.Site.File), s.Site.Line, s.Site.Op, s.Site.Desc)
+	}
+	fmt.Printf("simmut: %d/%d mutants killed (%d by test, %d by lint), "+
+		"%d survived, %d stillborn, %d ignored — score %.1f%% in %.1fs (%d cache hits)\n",
+		rep.Killed, rep.Killed+len(rep.SurvivedList), rep.KilledByTest, rep.KilledByLint,
+		len(rep.SurvivedList), rep.Stillborn, rep.IgnoredCount,
+		100*rep.Score, rep.Seconds, rep.CacheHits)
+}
+
+// rel renders a path relative to the working directory when possible.
+func rel(path string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return path
+	}
+	if r, err := filepath.Rel(wd, path); err == nil && !strings.HasPrefix(r, "..") {
+		return r
+	}
+	return path
+}

@@ -128,6 +128,7 @@ func (c *Cursor) Next() (a Addr, newSegment bool, ok bool) {
 // repeatedly visits exactly the addresses Next visits; batched
 // benchmark loops use larger caps to amortize per-access overhead.
 func (c *Cursor) Run(max int64) (start Addr, step int64, count int64, newSegment bool, ok bool) {
+	//simmut:ignore offbyone equivalent: reassigning 1 when max is already 1 is a no-op
 	if max < 1 {
 		max = 1
 	}
@@ -137,6 +138,7 @@ func (c *Cursor) Run(max int64) (start Addr, step int64, count int64, newSegment
 			return 0, 0, 0, false, false
 		}
 		count = c.n - c.i
+		//simmut:ignore offbyone equivalent: capping count at max when count equals max is a no-op
 		if count > max {
 			count = max
 		}
@@ -151,6 +153,7 @@ func (c *Cursor) Run(max int64) (start Addr, step int64, count int64, newSegment
 	newSegment = c.i == c.off
 	start = c.p.Base + Addr(c.i*int64(units.Word))
 	count = (c.n - c.i + c.s - 1) / c.s
+	//simmut:ignore offbyone equivalent: capping count at max when count equals max is a no-op
 	if count > max {
 		count = max
 	}

@@ -1,6 +1,7 @@
 package access
 
 import (
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -163,5 +164,69 @@ func TestTransposeTraffic(t *testing.T) {
 	}
 	if got := tr.TileWords(); got != 64*64*2 {
 		t.Errorf("TileWords = %d, want 8192", got)
+	}
+}
+
+// expandRuns drains c via Run(max) and expands every run to its
+// individual addresses.
+func expandRuns(t *testing.T, c *Cursor, max int64) []Addr {
+	t.Helper()
+	var addrs []Addr
+	for {
+		start, step, count, _, ok := c.Run(max)
+		if !ok {
+			return addrs
+		}
+		if count < 1 || count > max {
+			t.Fatalf("Run(%d) returned count %d", max, count)
+		}
+		for j := int64(0); j < count; j++ {
+			addrs = append(addrs, start+Addr(j*step))
+		}
+	}
+}
+
+func TestCursorExactAccessCounts(t *testing.T) {
+	// Pin the exact access sequence — not just membership — for both
+	// pass shapes, including stride larger than the word count (one
+	// word per segment) and the scatter (NoWrap) layout. An off-by-one
+	// in a loop bound shows up here as one access too many or too few.
+	cases := []Pattern{
+		{WorkingSet: units.KB, Stride: 1},
+		{WorkingSet: units.KB, Stride: 3},
+		{WorkingSet: 8 * units.Word, Stride: 8},   // stride == words
+		{WorkingSet: 8 * units.Word, Stride: 100}, // stride > words
+		{WorkingSet: units.KB, Stride: 5, NoWrap: true},
+		{WorkingSet: 8 * units.Word, Stride: 100, NoWrap: true},
+	}
+	for _, p := range cases {
+		var walked []Addr
+		p.Walk(func(a Addr, _ bool) { walked = append(walked, a) })
+		if int64(len(walked)) != p.Words() {
+			t.Fatalf("%+v: Walk made %d accesses, want %d", p, len(walked), p.Words())
+		}
+
+		c := NewCursor(p)
+		var next []Addr
+		for {
+			a, _, ok := c.Next()
+			if !ok {
+				break
+			}
+			next = append(next, a)
+		}
+		if !reflect.DeepEqual(next, walked) {
+			t.Errorf("%+v: Next sequence (%d accesses) diverges from Walk (%d)",
+				p, len(next), len(walked))
+		}
+
+		for _, max := range []int64{1, 2, 3, 7, 1 << 20} {
+			c.Reset()
+			got := expandRuns(t, c, max)
+			if !reflect.DeepEqual(got, walked) {
+				t.Errorf("%+v: Run(%d) expansion (%d accesses) diverges from Walk (%d)",
+					p, max, len(got), len(walked))
+			}
+		}
 	}
 }

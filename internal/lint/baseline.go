@@ -67,11 +67,20 @@ func (b *Baseline) Write(path string) error {
 // order, consuming one baseline entry per matched finding (a multiset:
 // two identical findings need two baseline entries).
 func (b *Baseline) Filter(diags []Diagnostic) []Diagnostic {
+	fresh, _ := b.Audit(diags)
+	return fresh
+}
+
+// Audit is Filter plus the inverse direction: stale returns the
+// baseline entries that matched no finding in this run. A stale entry
+// means the debt it excused has been paid (or the file moved) — the
+// baseline should be pruned so it stops excusing a finding that could
+// silently come back.
+func (b *Baseline) Audit(diags []Diagnostic) (fresh []Diagnostic, stale []BaselineFinding) {
 	budget := map[BaselineFinding]int{}
 	for _, f := range b.Findings {
 		budget[f]++
 	}
-	var fresh []Diagnostic
 	for _, d := range diags {
 		key := BaselineFinding{
 			Analyzer: d.Analyzer,
@@ -84,5 +93,31 @@ func (b *Baseline) Filter(diags []Diagnostic) []Diagnostic {
 		}
 		fresh = append(fresh, d)
 	}
-	return fresh
+	// Surviving budget is the unmatched remainder, reported in the
+	// baseline's own order (duplicates consume their count).
+	for _, f := range b.Findings {
+		if budget[f] > 0 {
+			budget[f]--
+			stale = append(stale, f)
+		}
+	}
+	return fresh, stale
+}
+
+// Pruned returns a copy of the baseline with the given stale entries
+// removed (one occurrence per stale entry, multiset semantics).
+func (b *Baseline) Pruned(stale []BaselineFinding) *Baseline {
+	drop := map[BaselineFinding]int{}
+	for _, f := range stale {
+		drop[f]++
+	}
+	out := &Baseline{Findings: []BaselineFinding{}}
+	for _, f := range b.Findings {
+		if drop[f] > 0 {
+			drop[f]--
+			continue
+		}
+		out.Findings = append(out.Findings, f)
+	}
+	return out
 }

@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func bf(analyzer, file, message string) BaselineFinding {
+	return BaselineFinding{Analyzer: analyzer, File: file, Message: message}
+}
+
+func TestBaselineAuditSplitsFreshAndStale(t *testing.T) {
+	base := &Baseline{Findings: []BaselineFinding{
+		bf("unitsafe", "a/x.go", "mixed units"),
+		bf("cycleflow", "a/y.go", "dropped cost"),    // stale: fixed since
+		bf("determinism", "b/z.go", "map iteration"), // stale: fixed since
+	}}
+	diags := []Diagnostic{
+		{Analyzer: "unitsafe", File: filepath.FromSlash("a/x.go"), Message: "mixed units"},
+		{Analyzer: "probeguard", File: "c/w.go", Message: "outside a nil guard"},
+	}
+	fresh, stale := base.Audit(diags)
+	if len(fresh) != 1 || fresh[0].Analyzer != "probeguard" {
+		t.Fatalf("fresh = %v, want the one probeguard finding", fresh)
+	}
+	want := []BaselineFinding{
+		bf("cycleflow", "a/y.go", "dropped cost"),
+		bf("determinism", "b/z.go", "map iteration"),
+	}
+	if !reflect.DeepEqual(stale, want) {
+		t.Fatalf("stale = %v, want %v", stale, want)
+	}
+}
+
+func TestBaselineAuditMultisetCounts(t *testing.T) {
+	// Two identical entries, one matching finding: exactly one is stale.
+	base := &Baseline{Findings: []BaselineFinding{
+		bf("unitsafe", "a/x.go", "mixed units"),
+		bf("unitsafe", "a/x.go", "mixed units"),
+	}}
+	diags := []Diagnostic{
+		{Analyzer: "unitsafe", File: "a/x.go", Message: "mixed units"},
+	}
+	fresh, stale := base.Audit(diags)
+	if len(fresh) != 0 {
+		t.Fatalf("fresh = %v, want none", fresh)
+	}
+	if len(stale) != 1 {
+		t.Fatalf("stale = %v, want exactly one of the duplicate entries", stale)
+	}
+}
+
+func TestBaselinePruned(t *testing.T) {
+	base := &Baseline{Findings: []BaselineFinding{
+		bf("unitsafe", "a/x.go", "mixed units"),
+		bf("cycleflow", "a/y.go", "dropped cost"),
+		bf("unitsafe", "a/x.go", "mixed units"),
+	}}
+	pruned := base.Pruned([]BaselineFinding{bf("unitsafe", "a/x.go", "mixed units")})
+	want := []BaselineFinding{
+		bf("cycleflow", "a/y.go", "dropped cost"),
+		bf("unitsafe", "a/x.go", "mixed units"),
+	}
+	if !reflect.DeepEqual(pruned.Findings, want) {
+		t.Fatalf("pruned = %v, want %v (one duplicate kept)", pruned.Findings, want)
+	}
+	// Pruning must not touch the original.
+	if len(base.Findings) != 3 {
+		t.Fatalf("Pruned mutated the receiver: %v", base.Findings)
+	}
+}
+
+func TestBaselineFilterStillFilters(t *testing.T) {
+	base := &Baseline{Findings: []BaselineFinding{
+		bf("unitsafe", "a/x.go", "mixed units"),
+	}}
+	diags := []Diagnostic{
+		{Analyzer: "unitsafe", File: "a/x.go", Message: "mixed units"},
+		{Analyzer: "unitsafe", File: "a/x.go", Message: "other"},
+	}
+	fresh := base.Filter(diags)
+	if len(fresh) != 1 || fresh[0].Message != "other" {
+		t.Fatalf("Filter = %v, want the one uncovered finding", fresh)
+	}
+}

@@ -91,7 +91,7 @@ type Analyzer struct {
 }
 
 // All lists every analyzer in the suite, in reporting order.
-var All = []*Analyzer{Unitsafe, Cycleflow, Statereset, Sweepsafe, Determinism, Probeguard, Attrcover, Snapshotsafe}
+var All = []*Analyzer{Unitsafe, Cycleflow, Statereset, Sweepsafe, Determinism, Probeguard, Attrcover, Snapshotsafe, Locksafe, Sharedcapture, Atomicwrite}
 
 // aliases maps retired analyzer names to their successors, so old
 // //simlint:ignore directives and CLI flags keep working.

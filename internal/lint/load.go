@@ -46,6 +46,14 @@ func NewLoader() *Loader {
 // type-check against test-only dependencies and are free to trade
 // determinism for convenience (seeded rand, t.TempDir, ...).
 func (l *Loader) LoadDir(dir, path string) (*Package, error) {
+	return l.LoadDirOverlay(dir, path, nil)
+}
+
+// LoadDirOverlay is LoadDir with file-content overrides: overlay maps
+// an absolute file path to replacement bytes, letting the mutation
+// engine type-check and lint a mutant without touching the tree.
+// Imports still resolve from the unmutated sources on disk.
+func (l *Loader) LoadDirOverlay(dir, path string, overlay map[string][]byte) (*Package, error) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -65,7 +73,16 @@ func (l *Loader) LoadDir(dir, path string) (*Package, error) {
 	}
 	var files []*ast.File
 	for _, name := range names {
-		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		full := filepath.Join(dir, name)
+		var src any
+		if overlay != nil {
+			if abs, err := filepath.Abs(full); err == nil {
+				if content, ok := overlay[abs]; ok {
+					src = content
+				}
+			}
+		}
+		f, err := parser.ParseFile(l.Fset, full, src, parser.ParseComments)
 		if err != nil {
 			return nil, err
 		}

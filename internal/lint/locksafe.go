@@ -1,0 +1,520 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Locksafe is the concurrency contract behind every shared-mutable
+// structure the simulator grows (the surface store today, the memserve
+// query server and sharded machines next): a struct that carries a
+// sync.Mutex owns its sibling state, and nothing may touch that state
+// from a concurrent entry point without holding the lock.
+//
+// For each named struct with a sync.Mutex or sync.RWMutex field the
+// analyzer computes:
+//
+//   - the mutable sibling fields: fields assigned (including +=, ++,
+//     delete(m, k), and writes through a nested selector like
+//     s.man.Entries) by any method of the type. Fields only ever set
+//     by constructors and free functions are configuration, not shared
+//     state, and stay unchecked;
+//   - per method, the lock-domination state at every field access and
+//     same-type method call: an access is held when a Lock()/RLock()
+//     on the struct's own mutex precedes it with no intervening
+//     non-deferred Unlock()/RUnlock();
+//   - a requires-lock summary per method, propagated to fixpoint over
+//     the static call graph: a method requires the caller's lock when
+//     it touches mutable state (or calls a method that does) without
+//     locking first.
+//
+// Enforcement happens at the concurrent entry points: every exported
+// method and every `go func` body must hold the lock at each mutable
+// field access and at each call into a requires-lock method.
+// Unexported helpers are free to assume "callers hold mu" — the
+// analyzer proves every exported path into them actually does.
+// Init-only paths that run before the value escapes can be annotated
+// `//simlint:ignore locksafe <reason>`.
+var Locksafe = &Analyzer{
+	Name: "locksafe",
+	Doc: "accesses to mutex-guarded struct fields from exported methods " +
+		"and goroutine bodies must hold the struct's lock",
+	Severity:  SeverityError,
+	RunModule: runLocksafe,
+}
+
+// lockedType is one struct with a mutex field and the lock analysis
+// attached to it.
+type lockedType struct {
+	key string // stable type key, e.g. "repro/internal/store.Store"
+	// mutexField is the name of the mutex field; "" for an embedded
+	// sync.Mutex (locked as s.Lock()).
+	mutexField string
+	mutable    map[string]bool
+	methods    []*FuncInfo
+	// requires maps a method name to whether it must be entered with
+	// the lock already held.
+	requires map[string]bool
+}
+
+// lockEventKind distinguishes the things a region scan records.
+type lockEventKind int
+
+const (
+	evLock lockEventKind = iota
+	evUnlock
+	evAccess // read or write of a mutable sibling field
+	evCall   // call of a same-locked-type method
+)
+
+// lockEvent is one lock-relevant operation, in source order, bound to
+// the variable it happened through (per-variable held state: locking
+// a.mu says nothing about b).
+type lockEvent struct {
+	kind  lockEventKind
+	pos   token.Pos
+	obj   types.Object // the variable the event goes through
+	ltype *lockedType
+	name  string // field or method name for evAccess/evCall
+}
+
+func runLocksafe(p *ModulePass) {
+	lts := collectLockedTypes(p)
+	if len(lts) == 0 {
+		return
+	}
+	computeRequiresLock(p, lts)
+
+	// Enforce at the entry points: exported methods and goroutine
+	// bodies anywhere in the module.
+	for _, fi := range sortedFuncs(p.Index) {
+		body := fi.Decl.Body
+		// Free functions are constructors and wiring: the value they
+		// build has not escaped to another goroutine yet. Methods are
+		// the concurrent surface.
+		exported := fi.Decl.Recv != nil && fi.Decl.Name.IsExported()
+		if exported {
+			events := scanLockRegion(fi.Pkg, body, lts, false)
+			reportUnheld(p, fi.Pkg, events, "exported method "+fi.Decl.Name.Name)
+		}
+		for _, g := range goroutineBodies(body) {
+			events := scanLockRegion(fi.Pkg, g.Body, lts, false)
+			reportUnheld(p, fi.Pkg, events, "goroutine body")
+		}
+	}
+}
+
+// collectLockedTypes finds every named struct in the module with a
+// sync.Mutex/RWMutex field and computes its mutable sibling fields.
+func collectLockedTypes(p *ModulePass) map[string]*lockedType {
+	lts := map[string]*lockedType{}
+	for key, si := range p.Index.structs {
+		mf, ok := mutexFieldOf(si)
+		if !ok {
+			continue
+		}
+		lts[key] = &lockedType{
+			key: key, mutexField: mf,
+			mutable:  map[string]bool{},
+			requires: map[string]bool{},
+		}
+	}
+	if len(lts) == 0 {
+		return lts
+	}
+	// Group methods and find the fields they write.
+	for _, fi := range p.Index.Funcs() {
+		lt := lts[fi.RecvType]
+		if lt == nil {
+			continue
+		}
+		lt.methods = append(lt.methods, fi)
+		recv := methodReceiverObj(fi)
+		if recv == nil {
+			continue
+		}
+		markWrittenFields(fi.Pkg, fi.Decl.Body, recv, lt)
+	}
+	// The mutex field itself is never "mutable state".
+	for _, lt := range lts {
+		delete(lt.mutable, lt.mutexField)
+	}
+	return lts
+}
+
+// mutexFieldOf returns the name of si's sync.Mutex/RWMutex field ("",
+// true for an embedded one); ok is false when the struct has none.
+func mutexFieldOf(si *StructInfo) (string, bool) {
+	for _, f := range si.Type.Fields.List {
+		t := si.Pkg.Info.TypeOf(f.Type)
+		k := typeKey(t)
+		if k != "sync.Mutex" && k != "sync.RWMutex" {
+			continue
+		}
+		if len(f.Names) == 0 {
+			return "", true // embedded
+		}
+		return f.Names[0].Name, true
+	}
+	return "", false
+}
+
+// methodReceiverObj returns the types.Object of fi's named receiver.
+func methodReceiverObj(fi *FuncInfo) types.Object {
+	recv := fi.Decl.Recv
+	if recv == nil || len(recv.List) != 1 || len(recv.List[0].Names) != 1 {
+		return nil
+	}
+	return fi.Pkg.Info.Defs[recv.List[0].Names[0]]
+}
+
+// markWrittenFields records every sibling field the method body writes
+// through its receiver: assignments (any token), ++/--, and
+// delete(recv.m, k).
+func markWrittenFields(pkg *Package, body *ast.BlockStmt, recv types.Object, lt *lockedType) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if f := fieldThroughVar(pkg, lhs, recv); f != "" {
+					lt.mutable[f] = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if f := fieldThroughVar(pkg, n.X, recv); f != "" {
+				lt.mutable[f] = true
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "delete" &&
+				pkg.Info.Uses[id] == nil && len(n.Args) == 2 {
+				// Builtin delete: the map argument is written.
+				if f := fieldThroughVar(pkg, n.Args[0], recv); f != "" {
+					lt.mutable[f] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// fieldThroughVar unwraps expr (through index, star, paren, and outer
+// selector layers) to the first field selected off the given variable:
+// s.man.Entries[i] resolves to "man" when the base ident binds v.
+// Returns "" when expr does not go through v.
+func fieldThroughVar(pkg *Package, expr ast.Expr, v types.Object) string {
+	for {
+		switch x := expr.(type) {
+		case *ast.SelectorExpr:
+			if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+				if pkg.Info.Uses[id] == v {
+					return x.Sel.Name
+				}
+			}
+			expr = x.X
+		case *ast.IndexExpr:
+			expr = x.X
+		case *ast.StarExpr:
+			expr = x.X
+		case *ast.ParenExpr:
+			expr = x.X
+		default:
+			return ""
+		}
+	}
+}
+
+// computeRequiresLock fills each lockedType's requires map to
+// fixpoint: a method requires the caller's lock when its own region
+// (goroutine bodies excluded — they never inherit the spawner's lock)
+// reaches a mutable access or a requires-lock call without holding
+// the lock itself.
+func computeRequiresLock(p *ModulePass, lts map[string]*lockedType) {
+	type methodRegion struct {
+		lt     *lockedType
+		name   string
+		events []lockEvent
+	}
+	var regions []methodRegion
+	for _, key := range sortedLockedKeys(lts) {
+		lt := lts[key]
+		for _, fi := range lt.methods {
+			events := scanLockRegion(fi.Pkg, fi.Decl.Body, lts, false)
+			regions = append(regions, methodRegion{lt: lt, name: fi.Decl.Name.Name, events: events})
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, r := range regions {
+			if r.lt.requires[r.name] {
+				continue
+			}
+			if regionNeedsLock(r.events) {
+				r.lt.requires[r.name] = true
+				changed = true
+			}
+		}
+	}
+}
+
+// regionNeedsLock reports whether the event stream reaches a mutable
+// access, or a call into a requires-lock method, at a point where the
+// region itself does not hold that variable's lock.
+func regionNeedsLock(events []lockEvent) bool {
+	held := map[types.Object]bool{}
+	for _, e := range events {
+		switch e.kind {
+		case evLock:
+			held[e.obj] = true
+		case evUnlock:
+			held[e.obj] = false
+		case evAccess:
+			if !held[e.obj] {
+				return true
+			}
+		case evCall:
+			if !held[e.obj] && e.ltype.requires[e.name] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// reportUnheld replays a region's events and reports every mutable
+// access or requires-lock call made without the lock.
+func reportUnheld(p *ModulePass, pkg *Package, events []lockEvent, where string) {
+	held := map[types.Object]bool{}
+	for _, e := range events {
+		switch e.kind {
+		case evLock:
+			held[e.obj] = true
+		case evUnlock:
+			held[e.obj] = false
+		case evAccess:
+			if !held[e.obj] {
+				p.Reportf(e.pos,
+					"%s accesses %s.%s without holding %s; lock first or annotate //simlint:ignore locksafe",
+					where, shortTypeName(e.ltype.key), e.name, lockName(e.ltype))
+			}
+		case evCall:
+			if !held[e.obj] && e.ltype.requires[e.name] {
+				p.Reportf(e.pos,
+					"%s calls %s.%s, which touches guarded state, without holding %s",
+					where, shortTypeName(e.ltype.key), e.name, lockName(e.ltype))
+			}
+		}
+	}
+}
+
+// scanLockRegion walks one region (a method or goroutine body) and
+// returns its lock events in source order. Goroutine bodies nested in
+// the region are excluded — a spawned goroutine never inherits the
+// spawner's lock and is checked as its own region. Unlock events
+// inside defer statements are ignored (they fire at return, after
+// every access). inDefer tracks that suppression on recursion.
+func scanLockRegion(pkg *Package, body ast.Node, lts map[string]*lockedType, inDefer bool) []lockEvent {
+	var events []lockEvent
+	goRanges := goStmtRanges(body)
+	deferRanges := deferStmtRanges(body)
+	inRange := func(pos token.Pos, ranges [][2]token.Pos) bool {
+		for _, r := range ranges {
+			if pos >= r[0] && pos < r[1] {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if inRange(n.Pos(), goRanges) {
+				return true
+			}
+			if obj, lt, kind, ok := mutexOp(pkg, n, lts); ok {
+				if kind == evUnlock && (inDefer || inRange(n.Pos(), deferRanges)) {
+					return true
+				}
+				events = append(events, lockEvent{kind: kind, pos: n.Pos(), obj: obj, ltype: lt})
+				return true
+			}
+			if obj, lt, name, ok := lockedMethodCall(pkg, n, lts); ok {
+				events = append(events, lockEvent{kind: evCall, pos: n.Pos(), obj: obj, ltype: lt, name: name})
+			}
+		case *ast.SelectorExpr:
+			if inRange(n.Pos(), goRanges) {
+				return true
+			}
+			if obj, lt, field, ok := mutableFieldAccess(pkg, n, lts); ok {
+				events = append(events, lockEvent{kind: evAccess, pos: n.Pos(), obj: obj, ltype: lt, name: field})
+			}
+		}
+		return true
+	})
+	sort.SliceStable(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	return events
+}
+
+// goStmtRanges returns the source ranges of every `go func(){...}`
+// literal body under n.
+func goStmtRanges(n ast.Node) [][2]token.Pos {
+	var out [][2]token.Pos
+	ast.Inspect(n, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			if fl, ok := g.Call.Fun.(*ast.FuncLit); ok {
+				out = append(out, [2]token.Pos{fl.Body.Pos(), fl.Body.End()})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// deferStmtRanges returns the source ranges of every defer statement
+// under n.
+func deferStmtRanges(n ast.Node) [][2]token.Pos {
+	var out [][2]token.Pos
+	ast.Inspect(n, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			out = append(out, [2]token.Pos{d.Pos(), d.End()})
+		}
+		return true
+	})
+	return out
+}
+
+// mutexOp matches x.mu.Lock() / x.Lock() (and RLock/Unlock/RUnlock)
+// against the locked types, returning the variable, its type, and
+// whether the call acquires or releases.
+func mutexOp(pkg *Package, call *ast.CallExpr, lts map[string]*lockedType) (types.Object, *lockedType, lockEventKind, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil, 0, false
+	}
+	var kind lockEventKind
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		kind = evLock
+	case "Unlock", "RUnlock":
+		kind = evUnlock
+	default:
+		return nil, nil, 0, false
+	}
+	// x.mu.Lock(): the receiver expr is a selector of the mutex field.
+	if inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok {
+		if id, ok := ast.Unparen(inner.X).(*ast.Ident); ok {
+			if obj, lt := lockedVar(pkg, id, lts); lt != nil && inner.Sel.Name == lt.mutexField {
+				return obj, lt, kind, true
+			}
+		}
+	}
+	// x.Lock(): embedded mutex.
+	if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+		if obj, lt := lockedVar(pkg, id, lts); lt != nil && lt.mutexField == "" {
+			return obj, lt, kind, true
+		}
+	}
+	return nil, nil, 0, false
+}
+
+// mutableFieldAccess matches a read or write of a locked type's
+// mutable field through a variable: x.man, x.man.Entries, ...
+func mutableFieldAccess(pkg *Package, sel *ast.SelectorExpr, lts map[string]*lockedType) (types.Object, *lockedType, string, bool) {
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil, nil, "", false
+	}
+	obj, lt := lockedVar(pkg, id, lts)
+	if lt == nil || !lt.mutable[sel.Sel.Name] {
+		return nil, nil, "", false
+	}
+	return obj, lt, sel.Sel.Name, true
+}
+
+// lockedMethodCall matches x.method(...) where x's type is a locked
+// struct, returning the variable and method name.
+func lockedMethodCall(pkg *Package, call *ast.CallExpr, lts map[string]*lockedType) (types.Object, *lockedType, string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil, "", false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil, nil, "", false
+	}
+	obj, lt := lockedVar(pkg, id, lts)
+	if lt == nil {
+		return nil, nil, "", false
+	}
+	if s, ok := pkg.Info.Selections[sel]; !ok || s.Kind() != types.MethodVal {
+		return nil, nil, "", false
+	}
+	return obj, lt, sel.Sel.Name, true
+}
+
+// lockedVar resolves id to a variable whose type is (a pointer to) a
+// locked struct type.
+func lockedVar(pkg *Package, id *ast.Ident, lts map[string]*lockedType) (types.Object, *lockedType) {
+	obj := pkg.Info.Uses[id]
+	if obj == nil {
+		obj = pkg.Info.Defs[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return nil, nil
+	}
+	if lt := lts[typeKey(v.Type())]; lt != nil {
+		return v, lt
+	}
+	return nil, nil
+}
+
+// goroutineBodies returns every `go func(){...}` literal under body,
+// including ones nested in other goroutines.
+func goroutineBodies(body ast.Node) []*ast.FuncLit {
+	var out []*ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			if fl, ok := g.Call.Fun.(*ast.FuncLit); ok {
+				out = append(out, fl)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// sortedFuncs returns the index's functions sorted by key.
+func sortedFuncs(ix *Index) []*FuncInfo { return ix.Funcs() }
+
+// sortedLockedKeys returns the locked-type keys in sorted order for
+// deterministic fixpoint iteration and reporting.
+func sortedLockedKeys(lts map[string]*lockedType) []string {
+	keys := make([]string, 0, len(lts))
+	//simlint:ignore determinism keys are sorted immediately below
+	for k := range lts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// shortTypeName renders "repro/internal/store.Store" as "Store".
+func shortTypeName(key string) string {
+	if i := strings.LastIndex(key, "."); i >= 0 {
+		return key[i+1:]
+	}
+	return key
+}
+
+// lockName renders the lock a finding demands: "Store.mu" or the
+// embedded "Store.Mutex".
+func lockName(lt *lockedType) string {
+	f := lt.mutexField
+	if f == "" {
+		f = "Mutex"
+	}
+	return shortTypeName(lt.key) + "." + f
+}

@@ -1,0 +1,72 @@
+// Package locksafe_bad touches mutex-guarded state from concurrent
+// entry points without holding the lock, in every way the analyzer
+// flags.
+package locksafe_bad
+
+import "sync"
+
+// Counter guards n with mu; bump marks n as mutable state.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// bump is an unexported callers-hold-mu helper; it is not an entry
+// point itself, but callers must hold the lock.
+func (c *Counter) bump() {
+	c.n++
+}
+
+// Add writes guarded state with no lock at all.
+func (c *Counter) Add(d int) {
+	c.n += d // want:locksafe exported method Add accesses Counter.n without holding Counter.mu
+}
+
+// Read shows that unlocked reads are findings too: a torn read of
+// shared state is still a race.
+func (c *Counter) Read() int {
+	return c.n // want:locksafe exported method Read accesses Counter.n without holding Counter.mu
+}
+
+// Bump reaches the guarded field through the requires-lock helper.
+func (c *Counter) Bump() {
+	c.bump() // want:locksafe exported method Bump calls Counter.bump, which touches guarded state, without holding Counter.mu
+}
+
+// Race spawns a goroutine that writes without its own lock; the
+// spawner's method scope does not help.
+func (c *Counter) Race(done chan struct{}) {
+	go func() {
+		c.n++ // want:locksafe goroutine body accesses Counter.n without holding Counter.mu
+		done <- struct{}{}
+	}()
+}
+
+// HalfLocked releases too early: the access after Unlock is bare.
+func (c *Counter) HalfLocked() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	c.n-- // want:locksafe exported method HalfLocked accesses Counter.n without holding Counter.mu
+}
+
+// StealFrom holds its own lock but touches the other counter's state;
+// held state is per variable, not per type.
+func (c *Counter) StealFrom(o *Counter, d int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n += d
+	o.n -= d // want:locksafe exported method StealFrom accesses Counter.n without holding Counter.mu
+}
+
+// Gauge embeds its mutex; the bare write is still a finding, against
+// the embedded lock's name.
+type Gauge struct {
+	sync.Mutex
+	v int
+}
+
+// Set forgets the embedded lock.
+func (g *Gauge) Set(v int) {
+	g.v = v // want:locksafe exported method Set accesses Gauge.v without holding Gauge.Mutex
+}

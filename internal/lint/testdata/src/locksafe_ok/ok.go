@@ -1,0 +1,83 @@
+// Package locksafe_ok holds mutex-guarded state and touches it only
+// under the lock, in every shape the analyzer accepts.
+package locksafe_ok
+
+import "sync"
+
+// Table mimics store.Store: a mutex guarding sibling mutable state,
+// plus configuration fields set only at construction time.
+type Table struct {
+	mu    sync.Mutex
+	rows  map[string]int
+	hits  int
+	limit int // written only by the constructor: config, not guarded state
+}
+
+// New writes fields freely: the value has not escaped yet, and free
+// functions are not concurrent entry points.
+func New(limit int) *Table {
+	t := &Table{rows: map[string]int{}}
+	t.limit = limit
+	return t
+}
+
+// Get locks up front with the canonical defer'd unlock; the deferred
+// Unlock does not end the held region.
+func (t *Table) Get(k string) (int, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	v, ok := t.rows[k]
+	if ok {
+		t.hits++
+	}
+	return v, ok
+}
+
+// Put locks around a call into an unexported callers-hold-mu helper.
+func (t *Table) Put(k string, v int) {
+	t.mu.Lock()
+	t.put(k, v)
+	t.mu.Unlock()
+}
+
+// put assumes callers hold t.mu.
+func (t *Table) put(k string, v int) {
+	t.rows[k] = v
+}
+
+// Refresh spawns goroutines that each take the lock themselves; a
+// goroutine body is its own lock region.
+func (t *Table) Refresh(keys []string) {
+	var wg sync.WaitGroup
+	for _, k := range keys {
+		wg.Add(1)
+		go func(k string) {
+			defer wg.Done()
+			t.mu.Lock()
+			t.rows[k] = 0
+			t.mu.Unlock()
+		}(k)
+	}
+	wg.Wait()
+}
+
+// Seed runs before the table is shared; the init-only escape hatch
+// documents why the unlocked writes are safe.
+func (t *Table) Seed(rows map[string]int) {
+	for k, v := range rows {
+		t.rows[k] = v //simlint:ignore locksafe Seed runs before the table escapes to any goroutine
+	}
+}
+
+// Gauge carries its mutex embedded; g.Lock() is the acquire form.
+type Gauge struct {
+	sync.Mutex
+	v int
+}
+
+// Set locks through the embedded mutex.
+func (g *Gauge) Set(v int) {
+	g.Lock()
+	g.v = v
+	g.Unlock()
+}

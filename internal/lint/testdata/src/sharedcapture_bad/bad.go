@@ -1,0 +1,65 @@
+// Package sharedcapture_bad shares captured resources across
+// concurrent bodies in every way the analyzer flags.
+package sharedcapture_bad
+
+import (
+	"repro/internal/machine"
+	"repro/internal/probe"
+)
+
+// Pool mimics internal/sweep.Pool's kernel-running shape.
+type Pool struct{}
+
+// Run calls kernel once per worker; the fixture only needs the
+// signature, not the concurrency.
+func (p *Pool) Run(kernel func(w int) error) error { return kernel(0) }
+
+// ResponseWriter and Request give handler literals the
+// http.HandlerFunc shape without importing net/http.
+type ResponseWriter interface{ Write([]byte) (int, error) }
+
+type Request struct{}
+
+// sharedScopeGoroutine captures one probe scope across goroutines.
+func sharedScopeGoroutine(ps probe.Scope, done chan struct{}) {
+	go func() {
+		_ = ps // want:sharedcapture goroutine captures probe.Scope "ps" shared with the spawning scope
+		done <- struct{}{}
+	}()
+}
+
+// sharedMachineKernel hands every pool worker the same simulated
+// machine.
+func sharedMachineKernel(p *Pool, m machine.Machine) {
+	_ = p.Run(func(w int) error {
+		_ = m // want:sharedcapture worker-pool kernel captures machine.Machine "m" shared with the spawning scope
+		return nil
+	})
+}
+
+// sharedTracerGoroutine shares the tracer, whose event stream is a
+// single-threaded append log.
+func sharedTracerGoroutine(tr *probe.Tracer, done chan struct{}) {
+	go func() {
+		_ = tr // want:sharedcapture goroutine captures probe.Tracer "tr" shared with the spawning scope
+		done <- struct{}{}
+	}()
+}
+
+// unlockedHandler writes captured state with no lock in sight.
+func unlockedHandler() func(ResponseWriter, *Request) {
+	hits := 0
+	return func(w ResponseWriter, r *Request) {
+		hits++ // want:sharedcapture HTTP handler writes captured "hits" without holding a lock
+	}
+}
+
+// rangedMap iterates a captured map from a goroutine: racy and
+// order-nondeterministic at once.
+func rangedMap(m map[string]int, done chan struct{}) {
+	go func() {
+		for range m { // want:sharedcapture goroutine ranges over captured map "m"
+		}
+		done <- struct{}{}
+	}()
+}

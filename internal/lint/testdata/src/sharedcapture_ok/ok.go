@@ -1,0 +1,70 @@
+// Package sharedcapture_ok runs concurrent bodies that share nothing
+// they should not: per-worker probe scopes, locked handler state, and
+// pre-snapshotted map keys.
+package sharedcapture_ok
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/probe"
+)
+
+// Pool mimics internal/sweep.Pool's kernel-running shape.
+type Pool struct{}
+
+// Run calls kernel once per worker; the fixture only needs the
+// signature, not the concurrency.
+func (p *Pool) Run(kernel func(w int) error) error { return kernel(0) }
+
+// ResponseWriter and Request give handler literals the
+// http.HandlerFunc shape without importing net/http.
+type ResponseWriter interface{ Write([]byte) (int, error) }
+
+type Request struct{}
+
+// perWorkerScope passes each worker its own scope as a parameter —
+// the sanctioned factory idiom.
+func perWorkerScope(p *Pool, scopes []probe.Scope) {
+	_ = p.Run(func(w int) error {
+		ps := scopes[w]
+		_ = ps
+		return nil
+	})
+}
+
+// lockedHandler guards its captured state; a locked write is not a
+// finding.
+func lockedHandler() func(ResponseWriter, *Request) {
+	var mu sync.Mutex
+	hits := 0
+	return func(w ResponseWriter, r *Request) {
+		mu.Lock()
+		hits++
+		mu.Unlock()
+	}
+}
+
+// localHandler keeps its state request-local: nothing is captured.
+func localHandler() func(ResponseWriter, *Request) {
+	return func(w ResponseWriter, r *Request) {
+		count := 0
+		count++
+		_ = count
+	}
+}
+
+// snapshotKeys sorts the keys before spawning; the goroutine ranges a
+// slice it owns, not the shared map.
+func snapshotKeys(m map[string]int, done chan struct{}) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	go func(keys []string) {
+		for range keys {
+		}
+		done <- struct{}{}
+	}(keys)
+}

@@ -1,0 +1,55 @@
+package mutate
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+)
+
+// cachedResult is the persisted fate of one mutant.
+type cachedResult struct {
+	Outcome Outcome `json:"outcome"`
+	Detail  string  `json:"detail,omitempty"`
+}
+
+// resultCache persists mutant outcomes under a directory, one JSON
+// file per content-hash key (the PR 6 simlint cache discipline: keys
+// carry everything that can change the answer, so entries never need
+// invalidating, only orphaning). A nil-dir cache is a no-op.
+type resultCache struct {
+	dir string
+}
+
+func newResultCache(dir string) *resultCache { return &resultCache{dir: dir} }
+
+func (c *resultCache) path(key string) string {
+	return filepath.Join(c.dir, key[:2], key+".json")
+}
+
+func (c *resultCache) get(key string) (cachedResult, bool) {
+	var res cachedResult
+	if c.dir == "" {
+		return res, false
+	}
+	b, err := os.ReadFile(c.path(key))
+	if err != nil || json.Unmarshal(b, &res) != nil || res.Outcome == "" {
+		return res, false
+	}
+	return res, true
+}
+
+func (c *resultCache) put(key string, res cachedResult) {
+	if c.dir == "" {
+		return
+	}
+	p := c.path(key)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		return
+	}
+	// Best-effort: a torn cache entry fails Unmarshal and re-runs.
+	os.WriteFile(p, b, 0o644)
+}

@@ -1,0 +1,280 @@
+package mutate
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/lint"
+)
+
+// Outcome classifies one mutant's fate.
+type Outcome string
+
+const (
+	// KilledByTest: `go test` of the owning package failed.
+	KilledByTest Outcome = "killed-test"
+	// KilledByLint: simlint reported a finding the unmutated package
+	// does not have.
+	KilledByLint Outcome = "killed-lint"
+	// Stillborn: the mutant does not type-check; it is excluded from
+	// the score (it could never ship).
+	Stillborn Outcome = "stillborn"
+	// Survived: the mutant compiles, passes the package tests, and is
+	// invisible to every analyzer. This is the finding.
+	Survived Outcome = "survived"
+	// Ignored: annotated //simmut:ignore as an equivalent mutant.
+	Ignored Outcome = "ignored"
+)
+
+// MutantResult is one scored mutant.
+type MutantResult struct {
+	Pkg     string  `json:"pkg"`
+	Site    Site    `json:"site"`
+	Outcome Outcome `json:"outcome"`
+	// Detail carries the killing test failure or lint finding, the
+	// type error for stillborns, or the ignore reason.
+	Detail string `json:"detail,omitempty"`
+	Cached bool   `json:"cached,omitempty"`
+}
+
+// Report is one engine run.
+type Report struct {
+	Packages     []string       `json:"packages"`
+	Total        int            `json:"total"` // discovered sites
+	Sampled      int            `json:"sampled"`
+	Killed       int            `json:"killed"`
+	KilledByTest int            `json:"killed_by_test"`
+	KilledByLint int            `json:"killed_by_lint"`
+	Stillborn    int            `json:"stillborn"`
+	IgnoredCount int            `json:"ignored"`
+	SurvivedList []MutantResult `json:"survivors"`
+	Results      []MutantResult `json:"results"`
+	// Score is killed / (killed + survived): stillborn and ignored
+	// mutants are excluded from the denominator.
+	Score   float64 `json:"score"`
+	Seconds float64 `json:"seconds"`
+	// CacheHits counts results served from the content-hash cache.
+	CacheHits int `json:"cache_hits"`
+}
+
+// Config tunes one engine run.
+type Config struct {
+	// Ops enables a subset of operators by name; nil enables all.
+	Ops map[string]bool
+	// Budget caps how many mutants run; 0 runs all. Sampling is
+	// deterministic: mutants are ranked by their content hash, so the
+	// same tree always samples the same subset.
+	Budget int
+	// CacheDir persists results keyed by content hash; "" disables.
+	CacheDir string
+	// Timeout bounds each `go test` run (off-by-one mutants can spin).
+	Timeout time.Duration
+	// Logf, when set, narrates progress.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// Run discovers, samples, and scores mutants over the packages named
+// by the go-style patterns.
+func Run(patterns []string, cfg Config) (*Report, error) {
+	//simlint:ignore determinism host tooling: reports wall-clock sweep seconds, no simulated time involved
+	start := time.Now()
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 3 * time.Minute
+	}
+	loader := lint.NewLoader()
+	pkgs, err := loader.Load(patterns)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{}
+
+	// Discover sites and the per-package lint baseline.
+	type work struct {
+		m        Mutant
+		key      string // content-hash cache key
+		rank     string // sampling rank: hash of identity only
+		baseline map[string]bool
+	}
+	var all []work
+	baselines := map[string]map[string]bool{}
+	for _, pkg := range pkgs {
+		rep.Packages = append(rep.Packages, pkg.Path)
+		mutants, err := DiscoverPackage(pkg, cfg.Ops)
+		if err != nil {
+			return nil, err
+		}
+		if len(mutants) == 0 {
+			continue
+		}
+		base := map[string]bool{}
+		for _, d := range lint.Run([]*lint.Package{pkg}, lint.All) {
+			base[d.Analyzer+"\x00"+d.Message] = true
+		}
+		baselines[pkg.Path] = base
+		dirH := hashDirContents(pkg.Dir)
+		for _, m := range mutants {
+			id := m.Pkg.Path + "\x00" + m.Site.ID() + "\x00" + m.Site.Desc
+			key := hashStrings(cacheVersion, goVersion(), id,
+				hashBytes(m.Src), hashBytes([]byte(m.Site.Repl)),
+				fmt.Sprint(m.Site.Start, m.Site.End), dirH)
+			all = append(all, work{m: m, key: key, rank: hashStrings(id), baseline: base})
+		}
+		cfg.logf("%s: %d sites", pkg.Path, len(mutants))
+	}
+	rep.Total = len(all)
+
+	// Deterministic budget sampling: rank by identity hash.
+	if cfg.Budget > 0 && len(all) > cfg.Budget {
+		sort.SliceStable(all, func(i, j int) bool { return all[i].rank < all[j].rank })
+		all = all[:cfg.Budget]
+	}
+	// Execute in source order for readable progress.
+	sort.SliceStable(all, func(i, j int) bool {
+		a, b := all[i].m.Site, all[j].m.Site
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		return a.Op < b.Op
+	})
+	rep.Sampled = len(all)
+
+	cache := newResultCache(cfg.CacheDir)
+	ex, err := newExecutor()
+	if err != nil {
+		return nil, err
+	}
+	defer ex.close()
+
+	for _, w := range all {
+		res := MutantResult{Pkg: w.m.Pkg.Path, Site: w.m.Site}
+		switch {
+		case w.m.Site.Ignore != "":
+			res.Outcome, res.Detail = Ignored, w.m.Site.Ignore
+		default:
+			if hit, ok := cache.get(w.key); ok {
+				res.Outcome, res.Detail, res.Cached = hit.Outcome, hit.Detail, true
+				rep.CacheHits++
+			} else {
+				res.Outcome, res.Detail = executeMutant(loader, ex, w.m, w.baseline, cfg.Timeout)
+				cache.put(w.key, cachedResult{Outcome: res.Outcome, Detail: res.Detail})
+			}
+		}
+		cfg.logf("  [%s] %s %s:%d %s", res.Outcome, w.m.Site.Op,
+			filepath.Base(w.m.Site.File), w.m.Site.Line, w.m.Site.Desc)
+		rep.Results = append(rep.Results, res)
+		switch res.Outcome {
+		case KilledByTest:
+			rep.Killed++
+			rep.KilledByTest++
+		case KilledByLint:
+			rep.Killed++
+			rep.KilledByLint++
+		case Stillborn:
+			rep.Stillborn++
+		case Ignored:
+			rep.IgnoredCount++
+		case Survived:
+			rep.SurvivedList = append(rep.SurvivedList, res)
+		}
+	}
+	if denom := rep.Killed + len(rep.SurvivedList); denom > 0 {
+		rep.Score = float64(rep.Killed) / float64(denom)
+	} else {
+		rep.Score = 1
+	}
+	rep.Seconds = time.Since(start).Seconds()
+	return rep, nil
+}
+
+// executeMutant scores one mutant: type-check (stillborn), then
+// simlint (killed-lint), then the owning package's tests
+// (killed-test); anything still standing survived.
+func executeMutant(loader *lint.Loader, ex *executor, m Mutant, baseline map[string]bool, timeout time.Duration) (Outcome, string) {
+	mutated := m.Site.Apply(m.Src)
+	abs, err := filepath.Abs(m.Site.File)
+	if err != nil {
+		abs = m.Site.File
+	}
+	overlay := map[string][]byte{abs: mutated}
+
+	// A fresh loader per mutant would re-load the import graph from
+	// source each time; the shared loader's import cache holds only
+	// unmutated dependencies, which stay valid.
+	pkgM, err := loader.LoadDirOverlay(m.Pkg.Dir, m.Pkg.Path, overlay)
+	if err != nil || pkgM == nil {
+		return Stillborn, fmt.Sprintf("%v", err)
+	}
+	for _, d := range lint.Run([]*lint.Package{pkgM}, lint.All) {
+		if !baseline[d.Analyzer+"\x00"+d.Message] {
+			return KilledByLint, fmt.Sprintf("[%s] %s", d.Analyzer, d.Message)
+		}
+	}
+	killed, detail, err := ex.goTest(m.Pkg.Dir, abs, mutated, timeout)
+	if err != nil {
+		return Stillborn, err.Error()
+	}
+	if killed {
+		return KilledByTest, detail
+	}
+	return Survived, ""
+}
+
+// ---- hashing ----
+
+// cacheVersion invalidates every cached result when the engine's
+// semantics change.
+const cacheVersion = "simmut-v1"
+
+func hashBytes(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+func hashStrings(parts ...string) string {
+	h := sha256.New()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// hashDirContents digests every .go file in dir — tests included,
+// since a new test can change a mutant's fate.
+func hashDirContents(dir string) string {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return "unreadable"
+	}
+	h := sha256.New()
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".go" {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(h, "%s\x00%d\x00", name, len(b))
+		h.Write(b)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,98 @@
+package mutate
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// executor owns the scratch directory where mutant files and overlay
+// manifests live for the go toolchain's -overlay flag.
+type executor struct {
+	dir string
+	n   int
+}
+
+func newExecutor() (*executor, error) {
+	dir, err := os.MkdirTemp("", "simmut-")
+	if err != nil {
+		return nil, err
+	}
+	return &executor{dir: dir}, nil
+}
+
+func (e *executor) close() { os.RemoveAll(e.dir) }
+
+// goTest runs the owning package's tests with the mutated file
+// overlaid. killed reports a test failure (including a -timeout
+// panic, which is how runaway off-by-one loops die); err reports a
+// toolchain-level problem that prevents scoring.
+func (e *executor) goTest(pkgDir, origFile string, mutated []byte, timeout time.Duration) (killed bool, detail string, err error) {
+	e.n++
+	mutFile := filepath.Join(e.dir, fmt.Sprintf("mutant-%d.go", e.n))
+	if err := os.WriteFile(mutFile, mutated, 0o644); err != nil {
+		return false, "", err
+	}
+	ovFile := filepath.Join(e.dir, fmt.Sprintf("overlay-%d.json", e.n))
+	ov, err := json.Marshal(map[string]map[string]string{
+		"Replace": {origFile: mutFile},
+	})
+	if err != nil {
+		return false, "", err
+	}
+	if err := os.WriteFile(ovFile, ov, 0o644); err != nil {
+		return false, "", err
+	}
+
+	// The context backstop covers hangs the test binary's own -timeout
+	// cannot reach (e.g. an infinite loop inside package init).
+	ctx, cancel := context.WithTimeout(context.Background(), timeout+time.Minute)
+	defer cancel()
+	cmd := exec.CommandContext(ctx, "go", "test",
+		"-overlay", ovFile, "-count=1", "-vet=off",
+		"-timeout", timeout.String(), ".")
+	cmd.Dir = pkgDir
+	var out bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &out
+	runErr := cmd.Run()
+	if runErr == nil {
+		return false, "", nil
+	}
+	if ctx.Err() != nil {
+		return true, "test run exceeded the hang backstop", nil
+	}
+	return true, failureSummary(out.String()), nil
+}
+
+// failureSummary condenses go test output to the most informative
+// line: the first --- FAIL header, or the first non-framework line.
+func failureSummary(out string) string {
+	lines := strings.Split(out, "\n")
+	for _, l := range lines {
+		if strings.HasPrefix(strings.TrimSpace(l), "--- FAIL") {
+			return strings.TrimSpace(l)
+		}
+	}
+	for _, l := range lines {
+		t := strings.TrimSpace(l)
+		if t == "" || strings.HasPrefix(t, "FAIL") || strings.HasPrefix(t, "ok ") ||
+			strings.HasPrefix(t, "exit status") {
+			continue
+		}
+		if len(t) > 120 {
+			t = t[:117] + "..."
+		}
+		return t
+	}
+	return "go test failed"
+}
+
+// goVersion keys cached results to the toolchain.
+func goVersion() string { return runtime.Version() }

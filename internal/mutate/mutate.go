@@ -1,0 +1,129 @@
+// Package mutate is the simulator's domain mutation-testing engine.
+//
+// The paper's value is byte-exact, attributable cost accounting: every
+// counter increment, every unit conversion, every codec field write is
+// load-bearing. A test suite (or analyzer suite) that cannot tell when
+// one of them disappears is not actually pinning the numbers down.
+// mutate proves the suites bite by applying small domain-specific
+// faults — drop a probe counter Add, flip a units operator, delete a
+// snapshot field write, forget a Reset assignment, off-by-one a cursor
+// loop bound — and demanding that `go test` of the owning package or
+// `simlint` kills each mutant.
+//
+// Mutants are byte-range edits against the original source, applied
+// through the go toolchain's -overlay mechanism and the lint loader's
+// content overlay, so the tree is never modified. Results are cached
+// by content hash (operator x site x file bytes x package dir), so an
+// unchanged tree re-scores for free.
+package mutate
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/lint"
+)
+
+// Site is one mutable location: a byte range in one file and the text
+// that replaces it.
+type Site struct {
+	Op   string `json:"op"`   // operator name
+	File string `json:"file"` // absolute path of the mutated file
+	Line int    `json:"line"` // 1-based line of the site
+	// Index is the ordinal of this site among the operator's sites in
+	// the same file, in source order; with Op and the file it forms a
+	// stable identity.
+	Index int    `json:"index"`
+	Desc  string `json:"desc"` // human description of the fault
+	// Ignore holds the reason from a //simmut:ignore annotation: the
+	// mutant is documented as equivalent and is not run.
+	Ignore string `json:"ignore,omitempty"`
+	Start  int    `json:"-"` // byte offset of the edit
+	End    int    `json:"-"`
+	Repl   string `json:"-"` // replacement text
+}
+
+// ID names the site stably for caching and reporting:
+// "<op>:<file base>:<index>".
+func (s Site) ID() string {
+	return fmt.Sprintf("%s:%s:%d", s.Op, filepath.Base(s.File), s.Index)
+}
+
+// Operator is one fault class. Sites returns every location in the
+// file it can mutate, in source order; offsets index into src.
+type Operator struct {
+	Name  string
+	Doc   string
+	Sites func(pkg *lint.Package, file int, src []byte) []Site
+}
+
+// Apply splices the site's replacement into the original bytes.
+func (s Site) Apply(src []byte) []byte {
+	out := make([]byte, 0, len(src)-(s.End-s.Start)+len(s.Repl))
+	out = append(out, src[:s.Start]...)
+	out = append(out, s.Repl...)
+	out = append(out, src[s.End:]...)
+	return out
+}
+
+// Mutant is one site bound to its package and original file bytes.
+type Mutant struct {
+	Site Site
+	Pkg  *lint.Package
+	Src  []byte // original file content
+}
+
+// ListSites discovers every mutation site under the go-style package
+// patterns without executing anything.
+func ListSites(patterns []string, ops map[string]bool) ([]Site, error) {
+	loader := lint.NewLoader()
+	pkgs, err := loader.Load(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var sites []Site
+	for _, pkg := range pkgs {
+		mutants, err := DiscoverPackage(pkg, ops)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range mutants {
+			sites = append(sites, m.Site)
+		}
+	}
+	return sites, nil
+}
+
+// DiscoverPackage finds every mutation site in the package, running
+// each enabled operator over each file. ops nil enables all.
+func DiscoverPackage(pkg *lint.Package, ops map[string]bool) ([]Mutant, error) {
+	var mutants []Mutant
+	for i, f := range pkg.Files {
+		name := pkg.Fset.File(f.Pos()).Name()
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return nil, fmt.Errorf("reading %s: %w", name, err)
+		}
+		for _, op := range Operators {
+			if ops != nil && !ops[op.Name] {
+				continue
+			}
+			for _, site := range op.Sites(pkg, i, src) {
+				mutants = append(mutants, Mutant{Site: site, Pkg: pkg, Src: src})
+			}
+		}
+	}
+	sort.SliceStable(mutants, func(a, b int) bool {
+		sa, sb := mutants[a].Site, mutants[b].Site
+		if sa.File != sb.File {
+			return sa.File < sb.File
+		}
+		if sa.Start != sb.Start {
+			return sa.Start < sb.Start
+		}
+		return sa.Op < sb.Op
+	})
+	return mutants, nil
+}

@@ -1,0 +1,159 @@
+package mutate
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/lint"
+)
+
+func TestSiteApplySplices(t *testing.T) {
+	src := []byte("x := a + b\n")
+	s := Site{Start: 7, End: 8, Repl: "-"}
+	if got := string(s.Apply(src)); got != "x := a - b\n" {
+		t.Errorf("Apply = %q", got)
+	}
+	// The original must be untouched.
+	if string(src) != "x := a + b\n" {
+		t.Errorf("Apply mutated its input: %q", src)
+	}
+}
+
+func TestDiscoverFlipopSitesInUnits(t *testing.T) {
+	sites, err := ListSites([]string{"repro/internal/units"}, map[string]bool{"flipop": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) < 3 {
+		t.Fatalf("flipop found %d sites in internal/units, want at least 3: %v", len(sites), sites)
+	}
+	for _, s := range sites {
+		if s.Op != "flipop" || !strings.HasPrefix(s.Desc, "flip ") {
+			t.Errorf("unexpected site %+v", s)
+		}
+		if s.Start >= s.End && s.Repl == "" {
+			t.Errorf("site %s has an empty edit", s.ID())
+		}
+	}
+	// Identity must be stable across discoveries (the cache key and
+	// budget sampling both depend on it).
+	again, err := ListSites([]string{"repro/internal/units"}, map[string]bool{"flipop": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sites {
+		if sites[i].ID() != again[i].ID() {
+			t.Errorf("site %d identity unstable: %s vs %s", i, sites[i].ID(), again[i].ID())
+		}
+	}
+}
+
+func TestIgnoreAnnotationMarksEquivalentMutants(t *testing.T) {
+	sites, err := ListSites([]string{"repro/internal/access"}, map[string]bool{"offbyone": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ignored, live int
+	for _, s := range sites {
+		if s.Ignore != "" {
+			ignored++
+			if !strings.Contains(s.Ignore, "equivalent") {
+				t.Errorf("ignore reason %q should document equivalence", s.Ignore)
+			}
+		} else {
+			live++
+		}
+	}
+	if ignored == 0 {
+		t.Error("access.Cursor's annotated equivalent mutants were not marked Ignored")
+	}
+	if live == 0 {
+		t.Error("every offbyone site is ignored; the operator is dead")
+	}
+}
+
+func TestResultCacheRoundTrip(t *testing.T) {
+	c := newResultCache(t.TempDir())
+	key := hashStrings("some", "mutant")
+	if _, ok := c.get(key); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.put(key, cachedResult{Outcome: KilledByTest, Detail: "--- FAIL: TestX"})
+	hit, ok := c.get(key)
+	if !ok || hit.Outcome != KilledByTest || hit.Detail != "--- FAIL: TestX" {
+		t.Fatalf("cache round trip = %+v, %v", hit, ok)
+	}
+	if _, ok := c.get(hashStrings("other")); ok {
+		t.Fatal("cache hit on a different key")
+	}
+}
+
+// runPinnedMutant discovers the one site matching descSub and runs it
+// through the real execution pipeline (type-check, lint, go test).
+func runPinnedMutant(t *testing.T, pkgPath, op, descSub string) (Outcome, string) {
+	t.Helper()
+	loader := lint.NewLoader()
+	pkgs, err := loader.Load([]string{pkgPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages for %s", len(pkgs), pkgPath)
+	}
+	pkg := pkgs[0]
+	mutants, err := DiscoverPackage(pkg, map[string]bool{op: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m *Mutant
+	for i := range mutants {
+		if strings.Contains(mutants[i].Site.Desc, descSub) {
+			m = &mutants[i]
+			break
+		}
+	}
+	if m == nil {
+		t.Fatalf("no %s site matching %q in %s; the codec or operator drifted — update this pin", op, descSub, pkgPath)
+	}
+	base := map[string]bool{}
+	for _, d := range lint.Run([]*lint.Package{pkg}, lint.All) {
+		base[d.Analyzer+"\x00"+d.Message] = true
+	}
+	ex, err := newExecutor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ex.close()
+	return executeMutant(loader, ex, *m, base, 3*time.Minute)
+}
+
+// TestPinnedManifestGridSigMutant pins the acceptance criterion the
+// retired hand-written manifest mutant test enforced: deleting the
+// GridSig write from Entry.MarshalBinary must die — and specifically
+// to the snapshotsafe analyzer, before any test runs.
+func TestPinnedManifestGridSigMutant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and lints internal/store from source")
+	}
+	out, detail := runPinnedMutant(t, "repro/internal/store",
+		"dropfieldwrite", "drop write of Entry.GridSig in MarshalBinary")
+	if out != KilledByLint || !strings.Contains(detail, "Entry.GridSig is never written by MarshalBinary") {
+		t.Fatalf("GridSig mutant = %s (%s), want killed-lint by snapshotsafe", out, detail)
+	}
+}
+
+// TestPinnedSurfaceTitleMutant pins the retired surface mutant test's
+// criterion under the real mutation: dropping only the Title encode
+// (the capacity hint still mentions the field, so snapshotsafe stays
+// quiet) must be killed by the surface package's round-trip tests.
+func TestPinnedSurfaceTitleMutant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs go test over a mutated internal/surface")
+	}
+	out, detail := runPinnedMutant(t, "repro/internal/surface",
+		"dropfieldwrite", "drop write of Surface.Title in MarshalBinary")
+	if out != KilledByTest {
+		t.Fatalf("Surface.Title mutant = %s (%s), want killed-test", out, detail)
+	}
+}

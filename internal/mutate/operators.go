@@ -1,0 +1,398 @@
+package mutate
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// Operators lists every fault class the engine knows, in reporting
+// order. Each one targets an invariant the paper's reproduction
+// depends on; a surviving mutant means no test and no analyzer pins
+// that invariant.
+var Operators = []Operator{
+	{
+		Name: "dropcounter",
+		Doc: "remove one probe counter update (Counter/TimeCounter/" +
+			"ByteCounter Add or Inc); the cost attribution must notice",
+		Sites: dropCounterSites,
+	},
+	{
+		Name: "flipop",
+		Doc: "flip one +/-/* in units-typed cost arithmetic; the " +
+			"bandwidth numbers must notice",
+		Sites: flipOpSites,
+	},
+	{
+		Name: "dropfieldwrite",
+		Doc: "delete one field write from a //simlint:snapshot codec; " +
+			"snapshotsafe or a round-trip test must notice",
+		Sites: dropFieldWriteSites,
+	},
+	{
+		Name: "dropreset",
+		Doc: "remove one assignment from a Reset/ColdReset body; the " +
+			"cold-start determinism tests must notice",
+		Sites: dropResetSites,
+	},
+	{
+		Name: "offbyone",
+		Doc: "flip one loop-bound comparison in access cursor code " +
+			"(< vs <=, > vs >=); the word-exact traffic counts must notice",
+		Sites: offByOneSites,
+	},
+}
+
+// ignoreMarker annotates an equivalent mutant: a site on (or directly
+// under) a line containing `//simmut:ignore <op> <reason>` is skipped
+// and reported as ignored rather than run.
+const ignoreMarker = "//simmut:ignore"
+
+// newSite fills a Site's span from the node and the package fset; the
+// caller owns Index.
+func newSite(pkg *lint.Package, op string, start, end token.Pos, desc, repl string) Site {
+	ps, pe := pkg.Fset.Position(start), pkg.Fset.Position(end)
+	return Site{
+		Op:    op,
+		File:  ps.Filename,
+		Line:  ps.Line,
+		Desc:  desc,
+		Start: ps.Offset,
+		End:   pe.Offset,
+		Repl:  repl,
+	}
+}
+
+// finishSites assigns per-file ordinals and filters ignore-annotated
+// sites into the Ignored state.
+func finishSites(sites []Site, src []byte) []Site {
+	lines := strings.Split(string(src), "\n")
+	for i := range sites {
+		sites[i].Index = i
+		for _, ln := range []int{sites[i].Line, sites[i].Line - 1} {
+			if ln < 1 || ln > len(lines) {
+				continue
+			}
+			if rest, ok := cutMarker(lines[ln-1]); ok {
+				op, reason, _ := strings.Cut(rest, " ")
+				if op == sites[i].Op || op == "*" {
+					sites[i].Ignore = strings.TrimSpace(reason)
+					if sites[i].Ignore == "" {
+						sites[i].Ignore = "annotated equivalent"
+					}
+				}
+			}
+		}
+	}
+	return sites
+}
+
+func cutMarker(line string) (string, bool) {
+	i := strings.Index(line, ignoreMarker)
+	if i < 0 {
+		return "", false
+	}
+	return strings.TrimSpace(line[i+len(ignoreMarker):]), true
+}
+
+// exprText renders the source text of a span, squashed to one line.
+func exprText(src []byte, pkg *lint.Package, start, end token.Pos) string {
+	s, e := pkg.Fset.Position(start).Offset, pkg.Fset.Position(end).Offset
+	if s < 0 || e > len(src) || s >= e {
+		return ""
+	}
+	txt := strings.Join(strings.Fields(string(src[s:e])), " ")
+	if len(txt) > 60 {
+		txt = txt[:57] + "..."
+	}
+	return txt
+}
+
+// ---- dropcounter ----
+
+// probeCounterType reports whether t is one of the probe counter
+// handle types.
+func probeCounterType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	path := n.Obj().Pkg().Path()
+	if path != "repro/internal/probe" && !strings.HasSuffix(path, "/internal/probe") {
+		return false
+	}
+	switch n.Obj().Name() {
+	case "Counter", "TimeCounter", "ByteCounter":
+		return true
+	}
+	return false
+}
+
+func dropCounterSites(pkg *lint.Package, fi int, src []byte) []Site {
+	var sites []Site
+	ast.Inspect(pkg.Files[fi], func(n ast.Node) bool {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Add" && sel.Sel.Name != "Inc") {
+			return true
+		}
+		t := pkg.Info.TypeOf(sel.X)
+		if t == nil || !probeCounterType(t) {
+			return true
+		}
+		sites = append(sites, newSite(pkg, "dropcounter", es.Pos(), es.End(),
+			fmt.Sprintf("drop counter update %q", exprText(src, pkg, es.Pos(), es.End())), ""))
+		return true
+	})
+	return finishSites(sites, src)
+}
+
+// ---- flipop ----
+
+// unitsType reports whether t is a named type from internal/units.
+func unitsType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	path := n.Obj().Pkg().Path()
+	return path == "repro/internal/units" || strings.HasSuffix(path, "/internal/units")
+}
+
+var flips = map[token.Token]token.Token{
+	token.ADD: token.SUB,
+	token.SUB: token.ADD,
+	token.MUL: token.ADD,
+}
+
+func flipOpSites(pkg *lint.Package, fi int, src []byte) []Site {
+	var sites []Site
+	ast.Inspect(pkg.Files[fi], func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		flipped, ok := flips[be.Op]
+		if !ok {
+			return true
+		}
+		// Units arithmetic only: the expression or an operand carries a
+		// units type.
+		if !unitsType(pkg.Info.TypeOf(be)) &&
+			!unitsType(pkg.Info.TypeOf(be.X)) && !unitsType(pkg.Info.TypeOf(be.Y)) {
+			return true
+		}
+		opEnd := be.OpPos + token.Pos(len(be.Op.String()))
+		sites = append(sites, newSite(pkg, "flipop", be.OpPos, opEnd,
+			fmt.Sprintf("flip %s to %s in %q", be.Op, flipped,
+				exprText(src, pkg, be.Pos(), be.End())),
+			flipped.String()))
+		return true
+	})
+	return finishSites(sites, src)
+}
+
+// ---- dropfieldwrite ----
+
+// snapshotStructs returns the names of structs in the package marked
+// //simlint:snapshot (the byte-stable codec contract).
+func snapshotStructs(pkg *lint.Package) map[string]bool {
+	marked := map[string]bool{}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			hasMarker := func(cg *ast.CommentGroup) bool {
+				if cg == nil {
+					return false
+				}
+				for _, c := range cg.List {
+					if strings.HasPrefix(strings.TrimSpace(c.Text), "//simlint:snapshot") {
+						return true
+					}
+				}
+				return false
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if _, isStruct := ts.Type.(*ast.StructType); !isStruct {
+					continue
+				}
+				if hasMarker(gd.Doc) || hasMarker(ts.Doc) {
+					marked[ts.Name.Name] = true
+				}
+			}
+		}
+	}
+	return marked
+}
+
+// recvName returns the receiver's type name and receiver ident for a
+// method declaration.
+func recvName(fd *ast.FuncDecl) (typeName, ident string) {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 {
+		return "", ""
+	}
+	t := fd.Recv.List[0].Type
+	if st, ok := t.(*ast.StarExpr); ok {
+		t = st.X
+	}
+	id, ok := t.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	if len(fd.Recv.List[0].Names) == 1 {
+		return id.Name, fd.Recv.List[0].Names[0].Name
+	}
+	return id.Name, ""
+}
+
+func dropFieldWriteSites(pkg *lint.Package, fi int, src []byte) []Site {
+	marked := snapshotStructs(pkg)
+	if len(marked) == 0 {
+		return nil
+	}
+	var sites []Site
+	for _, decl := range pkg.Files[fi].Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		tn, recv := recvName(fd)
+		if !marked[tn] || recv == "" {
+			continue
+		}
+		// Encode side only: the write direction of the codec.
+		if !strings.Contains(fd.Name.Name, "Marshal") ||
+			strings.Contains(fd.Name.Name, "Unmarshal") {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			// Plain assignments only: dropping a := definition can
+			// never compile (guaranteed stillborn, no signal).
+			if !ok || as.Tok == token.DEFINE {
+				return true
+			}
+			field := receiverFieldIn(as.Rhs, recv)
+			if field == "" {
+				return true
+			}
+			sites = append(sites, newSite(pkg, "dropfieldwrite", as.Pos(), as.End(),
+				fmt.Sprintf("drop write of %s.%s in %s", tn, field, fd.Name.Name), ""))
+			return true
+		})
+	}
+	return finishSites(sites, src)
+}
+
+// receiverFieldIn returns the first field selected off the named
+// receiver anywhere in the expressions, or "".
+func receiverFieldIn(exprs []ast.Expr, recv string) string {
+	field := ""
+	for _, e := range exprs {
+		ast.Inspect(e, func(n ast.Node) bool {
+			if field != "" {
+				return false
+			}
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && id.Name == recv {
+				field = sel.Sel.Name
+				return false
+			}
+			return true
+		})
+	}
+	return field
+}
+
+// ---- dropreset ----
+
+func dropResetSites(pkg *lint.Package, fi int, src []byte) []Site {
+	var sites []Site
+	for _, decl := range pkg.Files[fi].Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		name := fd.Name.Name
+		if name != "Reset" && name != "ColdReset" && name != "ResetAll" &&
+			!strings.HasPrefix(name, "reset") {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || as.Tok == token.DEFINE {
+				return true
+			}
+			sites = append(sites, newSite(pkg, "dropreset", as.Pos(), as.End(),
+				fmt.Sprintf("drop reset assignment %q in %s",
+					exprText(src, pkg, as.Pos(), as.End()), name), ""))
+			return true
+		})
+	}
+	return finishSites(sites, src)
+}
+
+// ---- offbyone ----
+
+var offByOneFlips = map[token.Token]token.Token{
+	token.LSS: token.LEQ,
+	token.LEQ: token.LSS,
+	token.GTR: token.GEQ,
+	token.GEQ: token.GTR,
+}
+
+// offByOneSites targets the access cursor's loop bounds: the word-
+// exact run lengths the whole traffic accounting rests on.
+func offByOneSites(pkg *lint.Package, fi int, src []byte) []Site {
+	if pkg.Path != "repro/internal/access" && !strings.HasSuffix(pkg.Path, "/internal/access") {
+		return nil
+	}
+	var sites []Site
+	for _, decl := range pkg.Files[fi].Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		if fd.Name.Name != "Run" && fd.Name.Name != "Next" {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			flipped, ok := offByOneFlips[be.Op]
+			if !ok {
+				return true
+			}
+			opEnd := be.OpPos + token.Pos(len(be.Op.String()))
+			sites = append(sites, newSite(pkg, "offbyone", be.OpPos, opEnd,
+				fmt.Sprintf("off-by-one %s to %s in %q (%s)", be.Op, flipped,
+					exprText(src, pkg, be.Pos(), be.End()), fd.Name.Name),
+				flipped.String()))
+			return true
+		})
+	}
+	return finishSites(sites, src)
+}

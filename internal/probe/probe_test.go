@@ -229,3 +229,57 @@ func TestWriteTraceJSON(t *testing.T) {
 		t.Error("WriteTrace output differs across identical calls")
 	}
 }
+
+func TestHandleResetsZeroTheSlot(t *testing.T) {
+	// Each handle kind's Reset must actually zero the registry slot —
+	// a dropped reset (the dropreset mutation class) leaks one sweep's
+	// counts into the next and corrupts attribution.
+	p := New()
+	s := p.Scope("n")
+	c := s.Counter("ops")
+	tc := s.TimeCounter("stall")
+	bc := s.ByteCounter("vol")
+	c.Add(7)
+	tc.Add(units.Time(9))
+	bc.Add(units.Bytes(512))
+	c.Reset()
+	tc.Reset()
+	bc.Reset()
+	if got := c.Get(); got != 0 {
+		t.Errorf("Counter.Reset left %d", got)
+	}
+	if got := tc.Get(); got != 0 {
+		t.Errorf("TimeCounter.Reset left %v", got)
+	}
+	if got := bc.Get(); got != 0 {
+		t.Errorf("ByteCounter.Reset left %v", got)
+	}
+	// Detached handles must stay no-ops.
+	var dc Counter
+	var dtc TimeCounter
+	var dbc ByteCounter
+	dc.Reset()
+	dtc.Reset()
+	dbc.Reset()
+}
+
+func TestSpanArgRecordsDurationAndPayload(t *testing.T) {
+	tr := NewTracer(4)
+	tr.SpanArg("xfer", "net", 2, 100, 164, "bytes", 4096)
+	evs := tr.Events()
+	if len(evs) != 1 {
+		t.Fatalf("events = %d, want 1", len(evs))
+	}
+	ev := evs[0]
+	if ev.Kind != SpanEvent || ev.TS != 100 || ev.Dur != 64 {
+		t.Errorf("span = kind %v ts %v dur %v, want SpanEvent/100/64", ev.Kind, ev.TS, ev.Dur)
+	}
+	if ev.ArgName != "bytes" || ev.Arg != 4096 {
+		t.Errorf("payload = %s=%d, want bytes=4096", ev.ArgName, ev.Arg)
+	}
+	tr.InstantArg("mark", "net", 2, 200, "count", 3)
+	evs = tr.Events()
+	if len(evs) != 2 || evs[1].Kind != InstantEvent || evs[1].Arg != 3 {
+		t.Errorf("instant-arg event: %+v", evs)
+	}
+}

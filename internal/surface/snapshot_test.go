@@ -211,3 +211,34 @@ func TestSnapshotCorrupt(t *testing.T) {
 		}
 	}
 }
+
+func TestCurveSnapshotRoundTrip(t *testing.T) {
+	// Every Curve field must survive the codec — a dropped field write
+	// silently zeroes it in all persisted sweeps (the dropfieldwrite
+	// mutation class).
+	c := &Curve{
+		Machine: "t3e",
+		Title:   "remote fetch bandwidth",
+		CalHash: 0xfeedface12345678,
+		Strides: []int{1, 2, 4, 8, 128},
+		BW:      []units.BytesPerSec{480e6, 330e6, 190e6, 88e6, 21e6},
+	}
+	b, err := c.MarshalBinary()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var got Curve
+	if err := got.UnmarshalBinary(b); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(&got, c) {
+		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got, *c)
+	}
+	b2, err := got.MarshalBinary()
+	if err != nil {
+		t.Fatalf("re-marshal: %v", err)
+	}
+	if !bytes.Equal(b, b2) {
+		t.Fatalf("curve snapshot is not byte-stable across a round trip")
+	}
+}

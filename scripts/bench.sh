@@ -7,9 +7,10 @@
 # grid points per second for each worker count, plus simlint timings
 # and the warm-cache hit rate). Also times the model-guided pruned
 # sweep (figures -fast) with its simulated-cell fraction, the
-# closed-form model's raw points/sec, and the persistent surface
+# closed-form model's raw points/sec, the persistent surface
 # store cold/warm (byte-comparing the warm artifact tree against the
-# cold and storeless ones).
+# cold and storeless ones), and the full simmut mutation score with
+# its wall-clock seconds.
 #
 # Run it from the repository root: ./scripts/bench.sh [jobs]
 # `jobs` defaults to the host's logical CPU count.
@@ -142,12 +143,24 @@ HITRATE=$(sed -n 's|^simlint: cache: \([0-9]*\)/\([0-9]*\) package hits.*|\1 \2|
     "$TMP/lint_warm.stderr" | awk '{printf "%.3f", $1 / $2}')
 echo "   warm hit rate: $HITRATE, findings byte-identical"
 
+# Mutation score: the full simmut sweep over the default packages,
+# through the repo's content-hash cache (an unchanged tree re-scores
+# in seconds). Survivors don't fail the benchmark — the score is the
+# measurement; check.sh is the gate.
+echo "== simmut (mutation score) =="
+go build -o "$TMP/simmut" ./cmd/simmut
+"$TMP/simmut" -json >"$TMP/simmut.json" || true
+MUTSCORE=$(sed -n 's/^  "score": \([0-9.]*\),*$/\1/p' "$TMP/simmut.json")
+MUTSECS=$(sed -n 's/^  "seconds": \([0-9.]*\),*$/\1/p' "$TMP/simmut.json")
+echo "   score $MUTSCORE in ${MUTSECS}s"
+
 POINTS=$(cat "$TMP/seq.points")
 awk -v t1="$T1" -v tn="$TN" -v ttrace="$TTRACE" -v jobs="$JOBS" \
     -v points="$POINTS" -v tlint="$TLINT" \
     -v tcold="$TCOLD" -v twarm="$TWARM" -v hitrate="$HITRATE" \
     -v tfast="$TFAST" -v simfrac="$SIMFRAC" -v apps="$APPS" \
     -v tscold="$TSCOLD" -v tswarm="$TSWARM" -v shitrate="$SHITRATE" \
+    -v mutscore="$MUTSCORE" -v mutsecs="$MUTSECS" \
     -v cpus="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)" 'BEGIN {
     printf "{\n"
     printf "  \"benchmark\": \"figures -all (figures 1-17 + tables A-C)\",\n"
@@ -162,7 +175,8 @@ awk -v t1="$T1" -v tn="$TN" -v ttrace="$TTRACE" -v jobs="$JOBS" \
     printf "  \"pruned\": {\"jobs\": %d, \"seconds\": %.2f, \"cells_simulated_frac\": %.3f},\n", jobs, tfast, simfrac
     printf "  \"analytic\": {\"points_per_sec\": %d},\n", apps
     printf "  \"store\": {\"cold_seconds\": %.2f, \"warm_seconds\": %.2f, \"hit_rate\": %.3f, \"warm_speedup_vs_pruned\": %.1f},\n", tscold, tswarm, shitrate, tfast / tswarm
-    printf "  \"simlint\": {\"target\": \"./...\", \"seconds\": %.2f, \"cold_seconds\": %.2f, \"warm_seconds\": %.2f, \"cache_hit_rate\": %.3f}\n", tlint, tcold, twarm, hitrate
+    printf "  \"simlint\": {\"target\": \"./...\", \"seconds\": %.2f, \"cold_seconds\": %.2f, \"warm_seconds\": %.2f, \"cache_hit_rate\": %.3f},\n", tlint, tcold, twarm, hitrate
+    printf "  \"mutation\": {\"score\": %.3f, \"seconds\": %.1f}\n", mutscore, mutsecs
     printf "}\n"
 }' >"$OUT"
 

@@ -8,21 +8,26 @@
 #   4. simlint ./...      — the domain analyzers (unit safety,
 #                           cycle flow, ColdReset completeness,
 #                           sweep safety, determinism, probe guard,
-#                           attribution coverage, snapshot safety),
-#                           run through the incremental cache, judged
-#                           against lint.baseline.json (only NEW
-#                           findings fail), with a SARIF log left in
+#                           attribution coverage, snapshot safety,
+#                           lock domination, shared capture, atomic
+#                           artifact writes), run through the
+#                           incremental cache, judged against
+#                           lint.baseline.json (only NEW findings
+#                           fail), with a SARIF log left in
 #                           out/simlint.sarif
 #   5. simlint -fix -dry-run ./... — pending autofixes are a hard
 #                           failure: apply them (make lint-fix) or
 #                           justify with a directive
-#   6. go test -race ./...— the full suite under the race detector
-#   7. memtrace smoke     — one traced point end to end
-#   8. analytic validation — memchar -validate on a reduced grid
+#   6. simmut smoke       — a budget of 25 mutants over the unit and
+#                           surface codecs; any survivor is a hard
+#                           failure (the full sweep is `make mutate`)
+#   7. go test -race ./...— the full suite under the race detector
+#   8. memtrace smoke     — one traced point end to end
+#   9. analytic validation — memchar -validate on a reduced grid
 #                           (working sets to 512K): every regime's
 #                           mean divergence between the closed-form
 #                           model and the simulator stays within 15%
-#   9. warm-store smoke   — one figure rendered twice against the
+#  10. warm-store smoke   — one figure rendered twice against the
 #                           same surface store; the warm run must
 #                           reproduce the cold bytes exactly
 #
@@ -51,6 +56,9 @@ go run ./cmd/simlint -sarif out/simlint.sarif -baseline lint.baseline.json ./...
 
 echo "== simlint -fix -dry-run =="
 go run ./cmd/simlint -fix -dry-run ./...
+
+echo "== simmut smoke (budget 25) =="
+go run ./cmd/simmut -budget 25 ./internal/units ./internal/surface
 
 echo "== go test -race =="
 go test -race ./...
