@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the pre-commit gate.
 
-.PHONY: build test check lint lint-fix lint-baseline mutate fmt figures bench
+.PHONY: build test check lint lint-fix lint-baseline mutate fmt figures bench serve
 
 build:
 	go build ./...
@@ -49,3 +49,9 @@ figures:
 # are byte-identical, and records the result in BENCH_sweeps.json.
 bench:
 	./scripts/bench.sh
+
+# serve starts the characterization service on loopback over the
+# default surface store (run a sweep with -store .sweepstore first to
+# warm it; cold queries fall back to the analytic model).
+serve:
+	go run ./cmd/memserve -addr 127.0.0.1:8090 -store .sweepstore

@@ -16,7 +16,6 @@ import (
 	"repro/internal/access"
 	"repro/internal/machine"
 	"repro/internal/node"
-	"repro/internal/store"
 	"repro/internal/surface"
 	"repro/internal/sweep"
 	"repro/internal/units"
@@ -106,7 +105,7 @@ func Transfer(m machine.Machine, src, dst int, cp access.CopyPattern, opt machin
 // results are written back.
 func LoadSurface(p *sweep.Pool, idx int, strides []int, wss []units.Bytes) *surface.Surface {
 	cal := p.Machine().Calibration()
-	key := store.SurfaceKey(cal, store.PatternLoad, machine.Fetch, idx, 0, strides, wss)
+	key := LoadSurfaceKey(cal, idx, strides, wss)
 	base := machine.LocalBase(idx)
 	kernel := func(m machine.Machine, i int, s *surface.Surface) error {
 		wi, si := i/len(strides), i%len(strides)
@@ -133,7 +132,7 @@ func LoadSurface(p *sweep.Pool, idx int, strides []int, wss []units.Bytes) *surf
 // for Fetch, the stores for Deposit; the local side is contiguous.
 func TransferSurface(p *sweep.Pool, src, dst int, mode machine.Mode, strides []int, wss []units.Bytes) (*surface.Surface, error) {
 	cal := p.Machine().Calibration()
-	key := store.SurfaceKey(cal, store.PatternTransfer, mode, src, dst, strides, wss)
+	key := TransferSurfaceKey(cal, src, dst, mode, strides, wss)
 	kernel := func(m machine.Machine, i int, s *surface.Surface) error {
 		wi, si := i/len(strides), i%len(strides)
 		cp := access.CopyPattern{
@@ -178,13 +177,11 @@ func CopyCurve(p *sweep.Pool, idx int, ws units.Bytes, strides []int, stridedLoa
 		ws = transferCap
 	}
 	cal := p.Machine().Calibration()
-	variant := "ss"
 	title := "local copy, contiguous loads/strided stores"
 	if stridedLoads {
-		variant = "sl"
 		title = "local copy, strided loads/contiguous stores"
 	}
-	key := store.CurveKey(cal, store.PatternCopy, variant, idx, 0, strides, ws)
+	key := CopyCurveKey(cal, idx, ws, strides, stridedLoads)
 	if c, ok := storedCurve(p, key); ok {
 		return c
 	}
@@ -216,24 +213,15 @@ func CopyCurve(p *sweep.Pool, idx int, ws units.Bytes, strides []int, stridedLoa
 // source reads or the destination writes are strided.
 func TransferCurve(p *sweep.Pool, src, dst int, ws units.Bytes, strides []int, mode machine.Mode, stridedLoads bool, pipelined bool) (*surface.Curve, error) {
 	cal := p.Machine().Calibration()
-	variant := mode.String() + "-ss"
 	title := "remote copy, " + mode.String()
 	if stridedLoads {
-		variant = mode.String() + "-sl"
 		title += ", strided loads/contiguous stores"
 	} else {
 		title += ", contiguous loads/strided stores"
 	}
-	if pipelined {
-		variant += "-p"
-	}
-	// Transfer clamps each point's working set to transferCap, so the
-	// key uses the clamped value the sweep actually measures.
-	keyWS := ws
-	if keyWS > transferCap {
-		keyWS = transferCap
-	}
-	key := store.CurveKey(cal, store.PatternRemoteCopy, variant, src, dst, strides, keyWS)
+	// TransferCurveKey clamps the working set to transferCap, matching
+	// the clamp Transfer applies to every measured point.
+	key := TransferCurveKey(cal, src, dst, ws, strides, mode, stridedLoads, pipelined)
 	if c, ok := storedCurve(p, key); ok {
 		return c, nil
 	}

@@ -13,7 +13,6 @@ import (
 	"repro/internal/access"
 	"repro/internal/analytic"
 	"repro/internal/machine"
-	"repro/internal/store"
 	"repro/internal/surface"
 	"repro/internal/sweep"
 	"repro/internal/units"
@@ -28,7 +27,7 @@ import (
 // simulated values.
 func LoadSurfacePruned(p *sweep.Pool, idx int, strides []int, wss []units.Bytes) (*surface.Surface, int) {
 	cal := p.Machine().Calibration()
-	key := store.SurfaceKey(cal, store.PatternLoad, machine.Fetch, idx, 0, strides, wss)
+	key := LoadSurfaceKey(cal, idx, strides, wss)
 	if st := p.Store(); st != nil {
 		if s, ok := st.GetSurface(key); ok {
 			return s, 0
@@ -63,7 +62,7 @@ func LoadSurfacePruned(p *sweep.Pool, idx int, strides []int, wss []units.Bytes)
 // cells were simulated.
 func TransferSurfacePruned(p *sweep.Pool, src, dst int, mode machine.Mode, strides []int, wss []units.Bytes) (*surface.Surface, int, error) {
 	cal := p.Machine().Calibration()
-	key := store.SurfaceKey(cal, store.PatternTransfer, mode, src, dst, strides, wss)
+	key := TransferSurfaceKey(cal, src, dst, mode, strides, wss)
 	if st := p.Store(); st != nil {
 		if s, ok := st.GetSurface(key); ok {
 			return s, 0, nil

@@ -1,0 +1,51 @@
+package probe
+
+import "sync"
+
+// LockedRegistry wraps a Registry with a mutex so concurrent writers
+// — the memserve request handlers, where every HTTP request runs on
+// its own goroutine — can tally into probe counters. The simulator's
+// own registries stay single-threaded (one machine, one goroutine,
+// handles without atomics); this wrapper exists for host-side serving
+// metrics, where contention is real and a lost increment is a lying
+// dashboard.
+//
+// Counters are addressed by full name per call rather than by handle:
+// a handle's bare pointer increment is exactly the unsynchronized
+// write the wrapper exists to prevent.
+type LockedRegistry struct {
+	mu  sync.Mutex
+	reg *Registry
+}
+
+// NewLockedRegistry builds an empty locked registry.
+func NewLockedRegistry() *LockedRegistry {
+	return &LockedRegistry{reg: NewRegistry()}
+}
+
+// Add adds d to the plain counter named name, registering it on first
+// use.
+func (l *LockedRegistry) Add(name string, d int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.reg.Counter(name).Add(d)
+}
+
+// Inc adds 1 to the plain counter named name.
+func (l *LockedRegistry) Inc(name string) { l.Add(name, 1) }
+
+// Get returns the current value of the plain counter named name (0 if
+// it was never touched).
+func (l *LockedRegistry) Get(name string) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.reg.Counter(name).Get()
+}
+
+// Snapshot copies every counter value, sorted by name, under the
+// lock.
+func (l *LockedRegistry) Snapshot() Snapshot {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.reg.Snapshot()
+}

@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Load-test harness: a live loopback server (httptest wraps a real
+// net/http server on 127.0.0.1) driven by concurrent clients at
+// parallelism 1, 4, and 16. Queries run against an empty store, so
+// every answer takes the analytic path — the steady-state shape of a
+// compiler fleet hammering a warm service. Each benchmark reports
+// qps (queries answered per second; for batches, elements count
+// individually), and the single-query benchmarks report p99_us
+// (99th-percentile end-to-end request latency). scripts/bench.sh
+// records serve.qps, serve.batch_qps, and serve.p99_us from these.
+
+// benchBatchSize is the batch fan-out width the batch benchmarks use.
+const benchBatchSize = 64
+
+func newBenchServer(b *testing.B) *httptest.Server {
+	b.Helper()
+	s, err := New(Config{StoreDir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	b.Cleanup(ts.Close)
+	return ts
+}
+
+// fire posts one body and drains the response.
+func fire(b *testing.B, client *http.Client, url string, body []byte) {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+// singleBody varies the query per operation so the store path is
+// exercised across machines and strides, not one memoized cell.
+func singleBody(i int) []byte {
+	machines := []string{"t3e", "t3d", "8400"}
+	strides := []int{1, 2, 4, 8, 16, 32, 64, 128}
+	wss := []string{"4k", "32k", "256k", "2M", "8M"}
+	return []byte(fmt.Sprintf(`{"machine":%q,"pattern":"load","ws":%q,"stride":%d}`,
+		machines[i%3], wss[i%5], strides[i%8]))
+}
+
+func batchBody(n int) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(`{"queries":[`)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		buf.Write(singleBody(i))
+	}
+	buf.WriteString(`]}`)
+	return buf.Bytes()
+}
+
+// latencyRecorder collects per-request latencies across goroutines.
+type latencyRecorder struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+func (l *latencyRecorder) add(d time.Duration) {
+	l.mu.Lock()
+	l.samples = append(l.samples, d)
+	l.mu.Unlock()
+}
+
+// p99us returns the 99th-percentile sample in microseconds.
+func (l *latencyRecorder) p99us() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.samples) == 0 {
+		return 0
+	}
+	sort.Slice(l.samples, func(i, j int) bool { return l.samples[i] < l.samples[j] })
+	idx := len(l.samples) * 99 / 100
+	if idx >= len(l.samples) {
+		idx = len(l.samples) - 1
+	}
+	return float64(l.samples[idx]) / float64(time.Microsecond)
+}
+
+func BenchmarkServeSingle(b *testing.B) {
+	for _, par := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("p%d", par), func(b *testing.B) {
+			ts := newBenchServer(b)
+			url := ts.URL + "/v1/bandwidth"
+			lat := &latencyRecorder{}
+			var seq int64
+			var seqMu sync.Mutex
+			b.SetParallelism(par)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				client := &http.Client{}
+				for pb.Next() {
+					seqMu.Lock()
+					i := int(seq)
+					seq++
+					seqMu.Unlock()
+					start := time.Now()
+					fire(b, client, url, singleBody(i))
+					lat.add(time.Since(start))
+				}
+			})
+			b.StopTimer()
+			qps := float64(b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(qps, "qps")
+			b.ReportMetric(lat.p99us(), "p99_us")
+			b.ReportMetric(0, "ns/op")
+		})
+	}
+}
+
+func BenchmarkServeBatch(b *testing.B) {
+	body := batchBody(benchBatchSize)
+	for _, par := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("p%d", par), func(b *testing.B) {
+			ts := newBenchServer(b)
+			url := ts.URL + "/v1/bandwidth/batch"
+			b.SetParallelism(par)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				client := &http.Client{}
+				for pb.Next() {
+					fire(b, client, url, body)
+				}
+			})
+			b.StopTimer()
+			batches := float64(b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(batches, "batch_qps")
+			b.ReportMetric(batches*benchBatchSize, "qps")
+			b.ReportMetric(0, "ns/op")
+		})
+	}
+}

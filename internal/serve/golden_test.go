@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// goldenRequests is the fixed probe sequence the golden fixture pins.
+// It runs against an empty store, so every value comes from the
+// analytic closed form — fully deterministic, no simulation, and
+// sensitive to any change in response field order, float formatting,
+// or model output.
+var goldenRequests = []struct {
+	method, path, body string
+}{
+	{"GET", "/healthz", ""},
+	{"POST", "/v1/bandwidth", `{"machine":"t3e","pattern":"load","ws":"512k","stride":4}`},
+	{"POST", "/v1/bandwidth", `{"machine":"8400","pattern":"load","ws":8192,"stride":1}`},
+	{"POST", "/v1/bandwidth", `{"machine":"t3d","pattern":"transfer","mode":"deposit","ws":"8M","stride":16}`},
+	{"POST", "/v1/bandwidth", `{"machine":"8400","pattern":"transfer","mode":"deposit","ws":"4k","stride":1}`},
+	{"POST", "/v1/bandwidth/batch", `{"queries":[` +
+		`{"machine":"t3e","pattern":"load","ws":"4k","stride":1},` +
+		`{"machine":"none","pattern":"load","ws":"4k","stride":1},` +
+		`{"machine":"t3e","pattern":"transfer","ws":"1G","stride":128}]}`},
+	{"POST", "/v1/plan", `{"machine":"t3d","bytes":"2M","stride":32}`},
+	{"GET", "/v1/machines", ""},
+	{"GET", "/v1/surfaces", ""},
+}
+
+// runGolden replays the probe sequence and concatenates the responses
+// with status-line separators.
+func runGolden(t *testing.T, s *Server) []byte {
+	t.Helper()
+	var out bytes.Buffer
+	for _, req := range goldenRequests {
+		w := do(t, s, req.method, req.path, req.body)
+		fmt.Fprintf(&out, "== %s %s -> %d\n", req.method, req.path, w.Code)
+		out.Write(w.Body.Bytes())
+	}
+	return out.Bytes()
+}
+
+// TestGoldenResponses pins the serving contract byte for byte.
+// Regenerate with UPDATE_GOLDEN=1 after an intentional API or model
+// change.
+func TestGoldenResponses(t *testing.T) {
+	got := runGolden(t, newServer(t, t.TempDir(), 0))
+
+	// A second server over a different empty directory and a different
+	// worker width must produce identical bytes before we even consult
+	// the fixture.
+	again := runGolden(t, newServer(t, t.TempDir(), 16))
+	if !bytes.Equal(got, again) {
+		t.Fatal("two fresh servers disagree; responses are not deterministic")
+	}
+
+	golden := filepath.Join("testdata", "golden_responses.txt")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden fixture updated (%d bytes)", len(got))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read fixture (regenerate with UPDATE_GOLDEN=1): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("responses diverge from golden fixture; regenerate with UPDATE_GOLDEN=1 if intentional\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

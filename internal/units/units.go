@@ -108,14 +108,24 @@ func (b Bytes) String() string {
 
 // ParseBytes parses a human-readable size: a plain byte count
 // ("8388608") or a decimal number with a case-insensitive K/M/G
-// power-of-two suffix ("8M", "512K", ".5k"), optionally followed by
-// "B" ("8MB"). It inverts Bytes.String for every size the paper's
-// axes use.
+// power-of-two suffix ("8M", "512k", ".5k"), optionally followed by
+// "B" ("8MB") or spelled IEC-style ("8MiB", "512kib"). It inverts
+// Bytes.String for every size the paper's axes use and is forgiving
+// about case so HTTP payloads and flag values don't have to be.
 func ParseBytes(s string) (Bytes, error) {
 	t := strings.TrimSpace(s)
 	u := strings.ToUpper(t)
 	if strings.HasSuffix(u, "B") {
 		u = u[:len(u)-1]
+	}
+	// IEC spellings: the "I" of "KiB"/"MiB"/"GiB" survives the "B"
+	// strip; drop it only when a binary-prefix letter precedes it, so
+	// a stray trailing "i" is still a parse error.
+	if n := len(u); n >= 2 && u[n-1] == 'I' {
+		switch u[n-2] {
+		case 'K', 'M', 'G':
+			u = u[:n-1]
+		}
 	}
 	mult := Bytes(1)
 	if n := len(u); n > 0 {

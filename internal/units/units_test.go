@@ -237,6 +237,12 @@ func TestParseBytes(t *testing.T) {
 		{" 64K ", 64 * KB},
 		{"0", 0},
 		{"1b", 1},
+		{"8m", 8 * MB},
+		{"8MiB", 8 * MB},
+		{"512kib", 512 * KB},
+		{"1gIb", GB},
+		{"4Ki", 4 * KB},
+		{"16", 16},
 	}
 	for _, c := range cases {
 		got, err := ParseBytes(c.in)
@@ -251,7 +257,7 @@ func TestParseBytes(t *testing.T) {
 }
 
 func TestParseBytesRejects(t *testing.T) {
-	for _, in := range []string{"", "K", "8Q", "-1K", "abc", "1.5", "0.3K", "8 M M"} {
+	for _, in := range []string{"", "  ", "K", "8Q", "-1K", "-8", "abc", "1.5", "0.3K", "8 M M", "8i", "iB", "8QiB"} {
 		if got, err := ParseBytes(in); err == nil {
 			t.Errorf("ParseBytes(%q) = %v, want error", in, got)
 		}

@@ -9,8 +9,9 @@
 # sweep (figures -fast) with its simulated-cell fraction, the
 # closed-form model's raw points/sec, the persistent surface
 # store cold/warm (byte-comparing the warm artifact tree against the
-# cold and storeless ones), and the full simmut mutation score with
-# its wall-clock seconds.
+# cold and storeless ones), the full simmut mutation score with
+# its wall-clock seconds, and the characterization service under load
+# (single and batch queries against a live loopback memserve).
 #
 # Run it from the repository root: ./scripts/bench.sh [jobs]
 # `jobs` defaults to the host's logical CPU count.
@@ -154,6 +155,27 @@ MUTSCORE=$(sed -n 's/^  "score": \([0-9.]*\),*$/\1/p' "$TMP/simmut.json")
 MUTSECS=$(sed -n 's/^  "seconds": \([0-9.]*\),*$/\1/p' "$TMP/simmut.json")
 echo "   score $MUTSCORE in ${MUTSECS}s"
 
+# The characterization service under load: go test -bench drives a
+# live loopback HTTP server with single and batch (N=64) bandwidth
+# queries at client parallelism 1/4/16. serve.qps and serve.p99_us
+# come from the single-query run at parallelism 16; serve.batch_qps
+# is the per-query throughput the 64-element batch endpoint reaches
+# at the same parallelism.
+echo "== memserve load test =="
+go test -bench 'BenchmarkServe' -benchtime 1s -run '^$' ./internal/serve \
+    >"$TMP/serve.bench"
+
+# metric FILE PATTERN UNIT — the value immediately preceding UNIT on
+# the line matching PATTERN in go test -bench output.
+metric() {
+    awk -v pat="$2" -v unit="$3" \
+        '$0 ~ pat { for (i = 2; i < NF; i++) if ($(i+1) == unit) v = $i } END { printf "%s", v }' "$1"
+}
+SQPS=$(metric "$TMP/serve.bench" "BenchmarkServeSingle/p16" "qps")
+SP99=$(metric "$TMP/serve.bench" "BenchmarkServeSingle/p16" "p99_us")
+BQPS=$(metric "$TMP/serve.bench" "BenchmarkServeBatch/p16" "qps")
+echo "   single ${SQPS} qps (p99 ${SP99}us), batched ${BQPS} qps"
+
 POINTS=$(cat "$TMP/seq.points")
 awk -v t1="$T1" -v tn="$TN" -v ttrace="$TTRACE" -v jobs="$JOBS" \
     -v points="$POINTS" -v tlint="$TLINT" \
@@ -161,6 +183,7 @@ awk -v t1="$T1" -v tn="$TN" -v ttrace="$TTRACE" -v jobs="$JOBS" \
     -v tfast="$TFAST" -v simfrac="$SIMFRAC" -v apps="$APPS" \
     -v tscold="$TSCOLD" -v tswarm="$TSWARM" -v shitrate="$SHITRATE" \
     -v mutscore="$MUTSCORE" -v mutsecs="$MUTSECS" \
+    -v sqps="$SQPS" -v sp99="$SP99" -v bqps="$BQPS" \
     -v cpus="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)" 'BEGIN {
     printf "{\n"
     printf "  \"benchmark\": \"figures -all (figures 1-17 + tables A-C)\",\n"
@@ -176,6 +199,7 @@ awk -v t1="$T1" -v tn="$TN" -v ttrace="$TTRACE" -v jobs="$JOBS" \
     printf "  \"analytic\": {\"points_per_sec\": %d},\n", apps
     printf "  \"store\": {\"cold_seconds\": %.2f, \"warm_seconds\": %.2f, \"hit_rate\": %.3f, \"warm_speedup_vs_pruned\": %.1f},\n", tscold, tswarm, shitrate, tfast / tswarm
     printf "  \"simlint\": {\"target\": \"./...\", \"seconds\": %.2f, \"cold_seconds\": %.2f, \"warm_seconds\": %.2f, \"cache_hit_rate\": %.3f},\n", tlint, tcold, twarm, hitrate
+    printf "  \"serve\": {\"qps\": %.0f, \"batch_qps\": %.0f, \"p99_us\": %.1f},\n", sqps, bqps, sp99
     printf "  \"mutation\": {\"score\": %.3f, \"seconds\": %.1f}\n", mutscore, mutsecs
     printf "}\n"
 }' >"$OUT"

@@ -19,8 +19,9 @@
 #                           failure: apply them (make lint-fix) or
 #                           justify with a directive
 #   6. simmut smoke       — a budget of 25 mutants over the unit and
-#                           surface codecs; any survivor is a hard
-#                           failure (the full sweep is `make mutate`)
+#                           surface codecs plus 25 over the serving
+#                           layer; any survivor is a hard failure
+#                           (the full sweep is `make mutate`)
 #   7. go test -race ./...— the full suite under the race detector
 #   8. memtrace smoke     — one traced point end to end
 #   9. analytic validation — memchar -validate on a reduced grid
@@ -30,6 +31,12 @@
 #  10. warm-store smoke   — one figure rendered twice against the
 #                           same surface store; the warm run must
 #                           reproduce the cold bytes exactly
+#  11. memserve smoke     — the characterization service on loopback
+#                           against the warm store from step 10: one
+#                           single and one batch bandwidth query must
+#                           answer with a confidence tag, /healthz
+#                           must return 2xx, and SIGINT must produce
+#                           a clean (exit 0) shutdown
 #
 # Run it from the repository root: ./scripts/check.sh
 set -eu
@@ -59,6 +66,7 @@ go run ./cmd/simlint -fix -dry-run ./...
 
 echo "== simmut smoke (budget 25) =="
 go run ./cmd/simmut -budget 25 ./internal/units ./internal/surface
+go run ./cmd/simmut -budget 25 ./internal/serve
 
 echo "== go test -race =="
 go test -race ./...
@@ -78,5 +86,31 @@ go run ./cmd/figures -fig 6 -store "$smoke/sweepstore" \
     >"$smoke/warm.stdout" 2>"$smoke/warm.stderr"
 cmp "$smoke/cold.stdout" "$smoke/warm.stdout"
 grep -q "store: .* 0 misses" "$smoke/warm.stderr"
+
+echo "== memserve smoke =="
+go build -o "$smoke/memserve" ./cmd/memserve
+"$smoke/memserve" -addr 127.0.0.1:0 -store "$smoke/sweepstore" \
+    >"$smoke/serve.log" 2>&1 &
+serve_pid=$!
+# The startup line carries the bound address (the port was :0).
+base=""
+for _ in 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20; do
+    base=$(sed -n 's,.* on \(http://[0-9.:]*\)$,\1,p' "$smoke/serve.log")
+    [ -n "$base" ] && break
+    sleep 0.25
+done
+[ -n "$base" ] || { echo "memserve: never came up" >&2; exit 1; }
+curl -fsS "$base/healthz" >/dev/null
+single=$(curl -fsS -X POST "$base/v1/bandwidth" \
+    -d '{"machine":"t3e","pattern":"load","ws":"32k","stride":4}')
+echo "$single" | grep -q '"confidence":"' || {
+    echo "memserve: no confidence tag in $single" >&2; exit 1; }
+batch=$(curl -fsS -X POST "$base/v1/bandwidth/batch" \
+    -d '{"queries":[{"machine":"t3e","pattern":"load","ws":"32k","stride":4},{"machine":"8400","pattern":"transfer","mode":"fetch","ws":"8M","stride":1}]}')
+echo "$batch" | grep -q '"confidence":"' || {
+    echo "memserve: no confidence tag in batch $batch" >&2; exit 1; }
+kill -INT "$serve_pid"
+wait "$serve_pid" || { echo "memserve: unclean shutdown" >&2; exit 1; }
+grep -q "shutdown complete" "$smoke/serve.log"
 
 echo "check: all green"
